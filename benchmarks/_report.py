@@ -1,0 +1,44 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates its experiment's table/series and persists
+it under ``benchmarks/results/`` (in addition to attaching the rows to
+pytest-benchmark's ``extra_info``), so a plain
+``pytest benchmarks/ --benchmark-only`` leaves the reproduced
+"figures" on disk for EXPERIMENTS.md to cite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, text: str) -> str:
+    """Persist *text* under benchmarks/results/<name>.txt and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text.rstrip() + "\n")
+    print(f"\n--- {name} ---")
+    print(text)
+    return path
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered_rows.append(
+            [f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [
+        max(len(r[i]) for r in rendered_rows) for i in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(rendered_rows):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""EA — ablations of the design choices DESIGN.md calls out.
+
+Each ablation disables one mechanism and regenerates the comparison:
+
+* **state-change advertisements** (S14): without the immediate ad on
+  state change, staleness — and hence wasted claims — jumps at the same
+  advertising interval;
+* **fair-share pie slices** (S6/S8): ordering alone lets lock-step users
+  alternate whole cycles; the pie is what produces factor-weighted
+  shares;
+* **claim leases** (S14/S15): without leases, a dead customer agent
+  strands machines in Claimed forever.
+"""
+
+from repro.condor import CondorPool, Job, MachineSpec, PoissonOwner, PoolConfig
+
+from _report import table, write_report
+
+
+def staleness_run(state_change_ads):
+    specs = [MachineSpec(name=f"m{i}") for i in range(8)]
+    owner_models = {
+        spec.name: PoissonOwner(mean_active=600.0, mean_idle=1_200.0)
+        for spec in specs
+    }
+    pool = CondorPool(
+        specs,
+        PoolConfig(
+            seed=33,
+            advertise_interval=900.0,
+            negotiation_interval=300.0,
+            advertise_on_state_change=state_change_ads,
+        ),
+        owner_models=owner_models,
+    )
+    for _ in range(25):
+        pool.submit(Job(owner="alice", total_work=900.0))
+    pool.run_until(40_000.0)
+    return pool.metrics
+
+
+def test_ablation_state_change_ads(benchmark):
+    def run_both():
+        return staleness_run(True), staleness_run(False)
+
+    with_ads, without_ads = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        ("immediate ads on state change", f"{100 * with_ads.claim_rejection_rate:.1f}%", with_ads.jobs_completed),
+        ("periodic ads only", f"{100 * without_ads.claim_rejection_rate:.1f}%", without_ads.jobs_completed),
+    ]
+    report = table(["variant", "claim rejection rate", "jobs done"], rows)
+    write_report("EA_state_change_ads", report)
+    assert without_ads.claim_rejection_rate > with_ads.claim_rejection_rate
+
+
+def shares_run(use_pie):
+    """Two lock-step users with a 4x factor gap; with the pie disabled
+    we emulate ordering-only fairness by running the negotiation with
+    one submitter's requests hidden... instead we compare against the
+    measured behaviour: the pie is inside negotiation_cycle, so the
+    ablation uses a pool-level monkeypatch-free approach — a direct call
+    comparison on the algorithm itself."""
+    from repro.classads import ClassAd
+    from repro.matchmaking import Accountant, negotiation_cycle
+
+    def machine(name):
+        ad = ClassAd({"Type": "Machine", "Name": name, "Memory": 64, "State": "Unclaimed"})
+        ad.set_expr("Constraint", 'other.Type == "Job"')
+        return ad
+
+    def req(owner, i):
+        ad = ClassAd({"Type": "Job", "JobId": i, "Owner": owner, "Memory": 32})
+        ad.set_expr("Constraint", 'other.Type == "Machine"')
+        return ad
+
+    providers = [machine(f"m{i}") for i in range(8)]
+    acc = Accountant(half_life=900.0)
+    acc.set_priority_factor("alpha", 1.0)
+    acc.set_priority_factor("beta", 4.0)
+    grouped = {
+        "alpha": [req("alpha", i) for i in range(20)],
+        "beta": [req("beta", 100 + i) for i in range(20)],
+    }
+    if use_pie:
+        assignments = negotiation_cycle(grouped, providers, accountant=acc)
+    else:
+        # Ordering-only: serve submitters in priority order with no quota
+        # (emulated by a single-submitter-at-a-time sweep).
+        assignments = []
+        taken = []
+        order = acc.negotiation_order(list(grouped))
+        remaining = list(providers)
+        for submitter in order:
+            got = negotiation_cycle({submitter: grouped[submitter]}, remaining)
+            assignments.extend(got)
+            used = {id(a.provider) for a in got}
+            remaining = [p for p in remaining if id(p) not in used]
+    counts = {}
+    for a in assignments:
+        counts[a.submitter] = counts.get(a.submitter, 0) + 1
+    return counts
+
+
+def test_ablation_pie_slices(benchmark):
+    def run_both():
+        return shares_run(True), shares_run(False)
+
+    with_pie, ordering_only = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        ("pie slices (deployed)", with_pie.get("alpha", 0), with_pie.get("beta", 0)),
+        ("ordering only (ablated)", ordering_only.get("alpha", 0), ordering_only.get("beta", 0)),
+    ]
+    report = table(
+        ["variant", "alpha machines (factor 1x)", "beta machines (factor 4x)"], rows
+    )
+    write_report("EA_pie_slices", report)
+    # Ordering-only gives the whole cycle to the best-priority user;
+    # the pie splits one cycle ~4:1.
+    assert ordering_only.get("beta", 0) == 0
+    assert with_pie.get("beta", 0) >= 1
+    assert with_pie.get("alpha", 0) > with_pie.get("beta", 0)
+
+
+def test_ablation_claim_leases(benchmark):
+    def run(lease_enabled):
+        pool = CondorPool(
+            [MachineSpec(name="m0")],
+            PoolConfig(seed=8, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        if not lease_enabled:
+            pool.machines["m0"].claim_lease = None
+        pool.submit(Job(owner="alice", total_work=50_000.0))
+        pool.submit(Job(owner="bob", total_work=300.0), at=100.0)
+        pool.crash_schedd("alice", at=90.0)  # alice's CA dies forever
+        pool.run_until(5_000.0)
+        bob = [j for j in pool.jobs() if j.owner == "bob"][0]
+        return bob.done
+
+    def run_both():
+        return run(True), run(False)
+
+    with_lease, without_lease = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    write_report(
+        "EA_claim_leases",
+        "dead customer agent, one machine, bob's job queued behind it:\n"
+        f"  with claim leases    : bob's job completed = {with_lease}\n"
+        f"  without claim leases : bob's job completed = {without_lease} "
+        "(machine stranded in Claimed forever)",
+    )
+    assert with_lease is True
+    assert without_lease is False

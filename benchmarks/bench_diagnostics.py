@@ -1,0 +1,93 @@
+"""E8 — constraint diagnostics (Section 5 future work).
+
+Plants jobs with known defects in a 1,000-machine pool and regenerates
+the diagnostic table: every defective job must be flagged unsatisfiable
+with the *correct clause* identified, and every healthy job must pass.
+Also times a full diagnosis (the admin-tool latency).
+"""
+
+from repro.classads import ClassAd
+from repro.matchmaking import diagnose, is_unsatisfiable
+from repro.sim import RngStream
+
+from _report import table, write_report
+
+POOL_SIZE = 1_000
+
+
+def build_pool():
+    rng = RngStream(42, "diag")
+    ads = []
+    for i in range(POOL_SIZE):
+        ad = ClassAd(
+            {
+                "Type": "Machine",
+                "Name": f"m{i}",
+                "Arch": rng.choice(["INTEL", "SPARC"]),
+                "OpSys": rng.choice(["SOLARIS251", "LINUX"]),
+                "Memory": rng.choice([32, 64, 128]),
+                "Disk": rng.randint(50_000, 500_000),
+            }
+        )
+        ad.set_expr("Constraint", "true")
+        ads.append(ad)
+    return ads
+
+
+def job(constraint, job_id):
+    ad = ClassAd({"Type": "Job", "Owner": "alice", "JobId": job_id, "Memory": 31})
+    ad.set_expr("Constraint", constraint)
+    return ad
+
+
+BROKEN = [
+    ("bad arch", 'other.Type == "Machine" && other.Arch == "VAX"', 'other.Arch == "VAX"'),
+    ("bad opsys", 'other.Type == "Machine" && other.OpSys == "VMS"', 'other.OpSys == "VMS"'),
+    ("huge memory", 'other.Type == "Machine" && other.Memory >= 4096', "other.Memory >= 4096"),
+    ("huge disk", 'other.Type == "Machine" && other.Disk >= 10000000', "other.Disk >= 10000000"),
+    ("missing attr", 'other.Type == "Machine" && other.GPUs >= 1', "other.GPUs >= 1"),
+]
+
+HEALTHY = [
+    ("intel job", 'other.Type == "Machine" && other.Arch == "INTEL" && other.Memory >= self.Memory'),
+    ("any machine", 'other.Type == "Machine"'),
+    ("big memory (rare but present)", 'other.Type == "Machine" && other.Memory >= 128'),
+]
+
+
+def test_diagnostic_table(benchmark):
+    pool = build_pool()
+
+    def run_all():
+        rows = []
+        for i, (label, constraint, bad_clause) in enumerate(BROKEN):
+            report = diagnose(job(constraint, 100 + i), pool)
+            flagged = [c.expression for c in report.unsatisfiable_clauses]
+            assert report.never_matches, label
+            assert bad_clause in flagged, (label, flagged)
+            rows.append((label, "UNSATISFIABLE", flagged[0]))
+        for i, (label, constraint) in enumerate(HEALTHY):
+            report = diagnose(job(constraint, 200 + i), pool)
+            assert not report.never_matches, label
+            rows.append((label, f"{report.bilateral_matches} matches", "-"))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report = table(["planted job", "verdict", "failing clause"], rows)
+    write_report("E8_diagnostics", report)
+    assert len(rows) == len(BROKEN) + len(HEALTHY)
+
+
+def test_single_diagnosis_latency(benchmark):
+    pool = build_pool()
+    request = job(BROKEN[0][1], 999)
+    report = benchmark.pedantic(diagnose, args=(request, pool), rounds=3, iterations=1)
+    assert report.never_matches
+
+
+def test_unsatisfiable_check_latency(benchmark):
+    pool = build_pool()
+    request = job(HEALTHY[0][1], 998)
+    assert not benchmark.pedantic(
+        is_unsatisfiable, args=(request, pool), rounds=3, iterations=1
+    )

@@ -1,0 +1,77 @@
+"""F1 — regenerate Figure 1's owner-policy behaviour.
+
+Reproduces the four-tier policy matrix that Section 4 narrates for the
+Figure 1 workstation ad, and measures the cost of evaluating the policy
+(the operation a busy matchmaker performs millions of times a day).
+"""
+
+from repro.classads import is_true, rank_value
+from repro.paper import figure1_machine_at, job_from
+
+from _report import table, write_report
+
+NOON, NIGHT, EARLY = 12 * 3600, 22 * 3600, 7 * 3600
+IDLE, TYPING = 1800, 10
+
+SCENARIOS = [
+    # (requester, daytime, keyboard idle, load, expected match)
+    ("raman (group)", NOON, TYPING, 2.0, True),
+    ("miron (group)", NIGHT, IDLE, 0.0, True),
+    ("tannenba (friend)", NOON, IDLE, 0.05, True),
+    ("tannenba (friend)", NOON, TYPING, 0.05, False),
+    ("wright (friend)", NOON, IDLE, 0.5, False),
+    ("stranger", NOON, IDLE, 0.05, False),
+    ("stranger", NIGHT, TYPING, 2.0, True),
+    ("stranger", EARLY, IDLE, 0.05, True),
+    ("rival (untrusted)", NIGHT, IDLE, 0.0, False),
+    ("riffraff (untrusted)", EARLY, IDLE, 0.0, False),
+]
+
+
+def policy_matrix():
+    rows = []
+    for label, daytime, keyboard, load, expected in SCENARIOS:
+        owner = label.split(" ")[0]
+        machine = figure1_machine_at(daytime, keyboard, load)
+        job = job_from(owner)
+        matched = is_true(machine.evaluate("Constraint", other=job))
+        rank = rank_value(machine.evaluate("Rank", other=job))
+        assert matched == expected, (label, daytime, keyboard, load)
+        rows.append(
+            (
+                label,
+                f"{daytime // 3600:02d}:00",
+                keyboard,
+                load,
+                "match" if matched else "no",
+                rank,
+            )
+        )
+    return rows
+
+
+def test_figure1_policy_matrix(benchmark):
+    rows = benchmark(policy_matrix)
+    report = table(
+        ["requester", "time", "kbd idle (s)", "load", "verdict", "rank"], rows
+    )
+    write_report("F1_figure1_policy", report)
+    benchmark.extra_info["rows"] = len(rows)
+
+
+def test_figure1_single_policy_evaluation(benchmark):
+    machine = figure1_machine_at(NOON, IDLE, 0.05)
+    job = job_from("tannenba")
+    assert benchmark(machine.evaluate, "Constraint", job) is True
+
+
+def test_figure1_rank_tiers(benchmark):
+    def tiers():
+        machine = figure1_machine_at(NOON)
+        return [
+            rank_value(machine.evaluate("Rank", other=job_from(owner)))
+            for owner in ("miron", "wright", "stranger")
+        ]
+
+    ranks = benchmark(tiers)
+    assert ranks == [10.0, 1.0, 0.0]

@@ -1,0 +1,85 @@
+"""F2 — regenerate Figure 2's job-requirement and ranking behaviour.
+
+The Figure 2 job ad selects machines by platform/disk/memory and ranks
+them by ``KFlops/1E3 + other.Memory/32``.  We sweep a synthetic machine
+population, regenerate the selection/ranking table, and time the
+best-match operation over a realistic candidate set.
+"""
+
+from repro.classads import is_true, rank_value
+from repro.matchmaking import best_match, rank_candidates
+from repro.paper import figure1_machine, figure2_job
+
+from _report import table, write_report
+
+
+def machine_variants():
+    """Leonardo plus systematic perturbations of each requirement."""
+    variants = []
+
+    def variant(label, **overrides):
+        ad = figure1_machine()
+        for key, value in overrides.items():
+            ad[key] = value
+        ad["Name"] = label
+        variants.append((label, ad))
+
+    variant("leonardo (baseline)")
+    variant("sparc-box", Arch="SPARC")
+    variant("linux-box", OpSys="LINUX")
+    variant("small-disk", Disk=5_000)
+    variant("tight-memory", Memory=30)
+    variant("exact-memory", Memory=31)
+    variant("big-fast", Memory=512, KFlops=80_000)
+    variant("slow-but-fat", Memory=512, KFlops=2_000)
+    return variants
+
+
+def selection_table():
+    job = figure2_job()
+    rows = []
+    for label, machine in machine_variants():
+        ok = is_true(job.evaluate("Constraint", other=machine))
+        rank = rank_value(job.evaluate("Rank", other=machine)) if ok else float("nan")
+        rows.append((label, "match" if ok else "no", round(rank, 3) if ok else "-"))
+    return rows
+
+
+def test_figure2_selection_table(benchmark):
+    rows = benchmark(selection_table)
+    verdicts = {label: verdict for label, verdict, _ in rows}
+    assert verdicts["leonardo (baseline)"] == "match"
+    assert verdicts["sparc-box"] == "no"
+    assert verdicts["linux-box"] == "no"
+    assert verdicts["small-disk"] == "no"
+    assert verdicts["tight-memory"] == "no"
+    assert verdicts["exact-memory"] == "match"
+    report = table(["machine variant", "verdict", "job Rank"], rows)
+    write_report("F2_figure2_job", report)
+
+
+def test_figure2_rank_orders_machines(benchmark):
+    job = figure2_job()
+    machines = [ad for _, ad in machine_variants()]
+
+    def ordered():
+        return [
+            m.provider.evaluate("Name") for m in rank_candidates(job, machines)
+        ]
+
+    names = benchmark(ordered)
+    assert names[0] == "big-fast"  # 80 + 16 beats everyone
+
+
+def test_figure2_best_match_over_pool(benchmark):
+    job = figure2_job()
+    machines = []
+    for i in range(200):
+        ad = figure1_machine()
+        ad["Name"] = f"m{i}"
+        ad["KFlops"] = 1_000 + 37 * i
+        ad["Memory"] = 32 + (i % 8) * 32
+        machines.append(ad)
+    result = benchmark(best_match, job, machines)
+    assert result is not None
+    assert result.provider.evaluate("KFlops") == 1_000 + 37 * 199

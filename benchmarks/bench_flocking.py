@@ -1,0 +1,62 @@
+"""E10 — flocking: load sharing across autonomous pools (paper ref [3]).
+
+Regenerates the overflow table: a saturated 2-machine home pool with a
+fixed backlog, flocked to remote pools of growing size.  Shape: makespan
+falls as remote capacity grows; jobs run remotely only after starving
+locally; remote-pool policies keep applying.
+"""
+
+from repro.condor import Job, MachineSpec, PoolConfig
+from repro.condor.flocking import Flock
+
+from _report import table, write_report
+
+BACKLOG = 16
+WORK = 2_400.0
+
+
+def run_flock(n_remote):
+    pools = {
+        "home": [MachineSpec(name=f"h{i}") for i in range(2)],
+    }
+    if n_remote:
+        pools["remote"] = [MachineSpec(name=f"r{i}") for i in range(n_remote)]
+    flock = Flock(
+        pools,
+        PoolConfig(seed=61, advertise_interval=120.0, negotiation_interval=120.0),
+        flock_threshold=300.0,
+    )
+    for _ in range(BACKLOG):
+        flock.submit("home", Job(owner="alice", total_work=WORK))
+    makespan = flock.run_until_quiescent(check_interval=120.0, max_time=500_000.0)
+    accepted = flock.trace.of_kind("claim-accepted")
+    remote_runs = sum(1 for e in accepted if e.fields["machine"].startswith("r"))
+    return makespan, remote_runs
+
+
+def test_flock_overflow_series(benchmark):
+    sizes = [0, 2, 4, 8]
+
+    def sweep():
+        return [(n, *run_flock(n)) for n in sizes]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (f"{n} remote machines", f"{makespan:.0f}s", remote_runs)
+        for n, makespan, remote_runs in results
+    ]
+    report = table(["flock size", "backlog makespan", "claims served remotely"], rows)
+    write_report("E10_flocking", report)
+
+    makespans = [m for _, m, _ in results]
+    assert makespans == sorted(makespans, reverse=True)  # more flock, faster
+    assert results[0][2] == 0  # no remote pool, no remote runs
+    assert results[-1][2] > 0  # big flock actually absorbed overflow
+
+
+def test_single_flocked_negotiation(benchmark):
+    def run():
+        return run_flock(4)
+
+    makespan, remote_runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert remote_runs > 0

@@ -1,0 +1,142 @@
+"""E7 — group matching via classad aggregation (Section 5 future work).
+
+Regenerates the regularity sweep: matching throughput of per-ad vs.
+grouped matching as the number of distinct machine *classes* in a
+2,000-ad pool varies (high regularity = few classes = big groups).
+
+Shape to reproduce: group matching's cost tracks the number of groups,
+so its advantage over per-ad matching is roughly the compression factor
+(ads per group), while results stay identical.
+"""
+
+import time
+
+from repro.classads import ClassAd
+from repro.matchmaking import (
+    AdAggregation,
+    GroupMatchStats,
+    constraints_satisfied,
+    group_match,
+)
+from repro.sim import RngStream
+
+from _report import table, write_report
+
+POOL_SIZE = 2_000
+
+
+def build_pool(n_classes, rng):
+    """*n_classes* distinct machine configurations, POOL_SIZE ads total."""
+    classes = []
+    for c in range(n_classes):
+        classes.append(
+            {
+                "Arch": rng.choice(["INTEL", "SPARC", "ALPHA"]),
+                "OpSys": rng.choice(["SOLARIS251", "LINUX"]),
+                "Memory": rng.choice([32, 64, 128, 256]),
+                "KFlops": rng.randint(5, 50) * 1_000,
+            }
+        )
+    ads = []
+    for i in range(POOL_SIZE):
+        cls = classes[i % n_classes]
+        ad = ClassAd(
+            {
+                "Type": "Machine",
+                "Name": f"m{i}",
+                "ContactAddress": f"startd@m{i}",
+                **cls,
+            }
+        )
+        ad.set_expr("Constraint", 'other.Type == "Job"')
+        ads.append(ad)
+    return ads
+
+
+def customer(rng):
+    ad = ClassAd(
+        {"Type": "Job", "Owner": "alice", "Memory": rng.choice([16, 31, 64])}
+    )
+    ad.set_expr(
+        "Constraint",
+        'other.Type == "Machine" && other.Memory >= self.Memory '
+        f'&& other.Arch == "{rng.choice(["INTEL", "SPARC"])}"',
+    )
+    return ad
+
+
+def test_regularity_sweep(benchmark):
+    class_counts = [4, 16, 64, 256]
+    n_queries = 20
+
+    def sweep():
+        rows = []
+        for n_classes in class_counts:
+            rng = RngStream(n_classes, "group")
+            pool = build_pool(n_classes, rng.fork("pool"))
+            queries = [customer(rng.fork(f"q{i}")) for i in range(n_queries)]
+
+            start = time.perf_counter()
+            naive = [
+                [ad for ad in pool if constraints_satisfied(q, ad)] for q in queries
+            ]
+            naive_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            aggregation = AdAggregation(pool)
+            stats = GroupMatchStats()
+            grouped = [group_match(q, aggregation, stats=stats) for q in queries]
+            grouped_time = time.perf_counter() - start
+
+            for a, b in zip(naive, grouped):
+                assert {ad.evaluate("Name") for ad in a} == {
+                    ad.evaluate("Name") for ad in b
+                }
+            rows.append(
+                (
+                    n_classes,
+                    f"{aggregation.compression:.0f}",
+                    f"{1000 * naive_time:.0f}ms",
+                    f"{1000 * grouped_time:.0f}ms",
+                    f"{naive_time / grouped_time:.1f}x",
+                    stats.constraint_evaluations,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = table(
+        [
+            "machine classes",
+            "ads/group",
+            "per-ad matching",
+            "group matching",
+            "speedup",
+            "constraint evals",
+        ],
+        rows,
+    )
+    write_report("E7_group_matching", report)
+
+    # Shape: higher regularity (fewer classes) → bigger speedup; the
+    # most regular pool must show a clear win.
+    speedups = [float(r[4].rstrip("x")) for r in rows]
+    assert speedups[0] > 5.0
+    assert speedups[0] > speedups[-1]
+
+
+def test_aggregation_build_cost(benchmark):
+    rng = RngStream(5, "agg")
+    pool = build_pool(16, rng.fork("pool"))
+    aggregation = benchmark.pedantic(AdAggregation, args=(pool,), rounds=3, iterations=1)
+    assert len(aggregation.groups) == 16
+
+
+def test_single_group_match(benchmark):
+    rng = RngStream(6, "agg")
+    pool = build_pool(16, rng.fork("pool"))
+    aggregation = AdAggregation(pool)
+    query = customer(rng.fork("q"))
+    found = benchmark(group_match, query, aggregation)
+    naive = [ad for ad in pool if constraints_satisfied(query, ad)]
+    assert len(found) == len(naive)

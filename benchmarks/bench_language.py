@@ -1,0 +1,80 @@
+"""P1 — classad language micro-benchmarks.
+
+Engineering baseline for E6: how expensive are parsing, evaluation, and
+printing of realistic (Figure 1/2-sized) ads?  The negotiation-cycle
+benchmarks divide through by these numbers to separate algorithmic from
+constant-factor effects.
+"""
+
+from repro.classads import ClassAd, evaluate, parse, unparse_classad
+from repro.paper import FIGURE1_MACHINE, FIGURE2_JOB, figure1_machine, figure2_job
+
+from _report import table, write_report
+
+
+def test_parse_figure1(benchmark):
+    ad = benchmark(ClassAd.parse, FIGURE1_MACHINE)
+    assert len(ad) == 18
+
+
+def test_parse_figure2(benchmark):
+    ad = benchmark(ClassAd.parse, FIGURE2_JOB)
+    assert len(ad) == 12
+
+
+def test_evaluate_figure1_constraint(benchmark):
+    machine = figure1_machine()
+    job = figure2_job()
+    result = benchmark(machine.evaluate, "Constraint", job)
+    assert result is True
+
+
+def test_evaluate_figure2_rank(benchmark):
+    machine = figure1_machine()
+    job = figure2_job()
+    value = benchmark(job.evaluate, "Rank", machine)
+    assert round(value, 3) == 23.893
+
+
+def test_full_bilateral_match(benchmark):
+    from repro.matchmaking import constraints_satisfied
+
+    machine = figure1_machine()
+    job = figure2_job()
+    assert benchmark(constraints_satisfied, job, machine)
+
+
+def test_unparse_figure1(benchmark):
+    machine = figure1_machine()
+    text = benchmark(unparse_classad, machine)
+    assert "leonardo" in text
+
+
+def test_simple_expression_evaluation(benchmark):
+    expr = parse("(2 + 3) * 4 >= 10 && true")
+    assert benchmark(evaluate, expr) is True
+
+
+def test_language_report(benchmark):
+    """Summary row counts for EXPERIMENTS.md (P1)."""
+    import time
+
+    machine, job = figure1_machine(), figure2_job()
+    rows = []
+    for label, fn in [
+        ("parse Figure 1", lambda: ClassAd.parse(FIGURE1_MACHINE)),
+        ("machine Constraint vs job", lambda: machine.evaluate("Constraint", other=job)),
+        ("job Constraint vs machine", lambda: job.evaluate("Constraint", other=machine)),
+        ("job Rank of machine", lambda: job.evaluate("Rank", other=machine)),
+    ]:
+        start = time.perf_counter()
+        n = 0
+        while time.perf_counter() - start < 0.2:
+            fn()
+            n += 1
+        per_call = (time.perf_counter() - start) / n * 1e6
+        rows.append((label, round(per_call, 1)))
+    report = table(["operation", "µs/call"], rows)
+    write_report("P1_language", report)
+    benchmark.extra_info["rows"] = rows
+    benchmark(machine.evaluate, "Constraint", job)

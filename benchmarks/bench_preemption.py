@@ -1,0 +1,102 @@
+"""E5 — opportunistic scheduling: eviction, checkpointing, Rank preemption.
+
+Regenerates:
+
+* the goodput/badput table with checkpointing on vs. off, under owner
+  churn (Section 1's "applications are migrated when resources need to
+  be preempted");
+* the Rank-preemption table: a machine preferring its research group
+  upgrades from a stranger's job when a preferred one arrives.
+"""
+
+from repro.condor import (
+    CondorPool,
+    Job,
+    MachineSpec,
+    PoissonOwner,
+    PoolConfig,
+)
+
+from _report import table, write_report
+
+HORIZON = 60_000.0
+
+
+def churn_run(want_checkpoint, seed=23):
+    specs = [MachineSpec(name=f"m{i}") for i in range(6)]
+    owner_models = {
+        spec.name: PoissonOwner(mean_active=900.0, mean_idle=1_800.0)
+        for spec in specs
+    }
+    pool = CondorPool(
+        specs,
+        PoolConfig(seed=seed, advertise_interval=120.0, negotiation_interval=120.0),
+        owner_models=owner_models,
+    )
+    for _ in range(30):
+        pool.submit(
+            Job(owner="alice", total_work=2_400.0, want_checkpoint=want_checkpoint)
+        )
+    pool.run_until(HORIZON)
+    return pool.metrics
+
+
+def test_checkpointing_ablation(benchmark):
+    def run_both():
+        return {
+            "checkpointing": churn_run(True),
+            "no checkpointing": churn_run(False),
+        }
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            m.jobs_completed,
+            m.evictions,
+            f"{m.goodput:.0f}",
+            f"{m.badput:.0f}",
+            f"{100 * m.goodput_fraction:.1f}%",
+        )
+        for name, m in results.items()
+    ]
+    report = table(
+        ["variant", "done", "evictions", "goodput", "badput", "good fraction"], rows
+    )
+    write_report("E5_checkpointing", report)
+
+    with_ckpt = results["checkpointing"]
+    without = results["no checkpointing"]
+    assert with_ckpt.evictions > 0, "scenario must actually evict"
+    assert with_ckpt.badput == 0.0
+    assert without.badput > 0.0
+    assert with_ckpt.goodput_fraction > without.goodput_fraction
+    assert with_ckpt.jobs_completed >= without.jobs_completed
+
+
+def test_rank_preemption_upgrades_machine(benchmark):
+    def run():
+        spec = MachineSpec(
+            name="m0",
+            rank='member(other.Owner, { "raman", "miron" }) * 10',
+        )
+        pool = CondorPool(
+            [spec],
+            PoolConfig(seed=29, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        pool.submit(Job(owner="stranger", total_work=6_000.0, want_checkpoint=True))
+        pool.submit(Job(owner="raman", total_work=300.0), at=200.0)
+        pool.run_until(3_000.0)
+        raman_done = [j for j in pool.jobs() if j.owner == "raman" and j.done]
+        return pool.preemption_count(), len(raman_done), pool.metrics.badput
+
+    preemptions, raman_done, badput = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(
+        "E5_rank_preemption",
+        f"rank preemptions: {preemptions}\n"
+        f"preferred user's jobs completed during stranger's run: {raman_done}\n"
+        f"badput: {badput:.0f} (stranger checkpointed, so nothing was lost)",
+    )
+    assert preemptions == 1
+    assert raman_done == 1
+    assert badput == 0.0

@@ -1,0 +1,148 @@
+"""E6 — matchmaker scalability: negotiation-cycle cost vs. pool size.
+
+Regenerates the scaling series for one negotiation cycle over pools of
+100–2,000 machines with 100 queued requests, in two variants:
+
+* naive O(N·M) constraint evaluation;
+* with the attribute index (S7) pre-filtering candidates.
+
+The shape to reproduce: naive cost grows linearly in pool size, the
+indexed matcher grows far slower (most providers are pruned before any
+full constraint evaluation), and both return identical assignments.
+"""
+
+import time
+
+from repro.classads import ClassAd
+from repro.matchmaking import CycleStats, ProviderIndex, negotiation_cycle
+from repro.sim import RngStream
+
+from _report import table, write_report
+
+ARCHS = ["INTEL", "SPARC", "ALPHA"]
+OPSYSES = ["SOLARIS251", "LINUX", "OSF1"]
+MEMORIES = [32, 64, 128, 256]
+
+
+def build_pool(n, rng):
+    ads = []
+    for i in range(n):
+        ad = ClassAd(
+            {
+                "Type": "Machine",
+                "Name": f"m{i}",
+                "Arch": rng.choice(ARCHS),
+                "OpSys": rng.choice(OPSYSES),
+                "Memory": rng.choice(MEMORIES),
+                "Disk": rng.randint(50_000, 500_000),
+                "KFlops": rng.randint(5_000, 50_000),
+                "State": "Unclaimed",
+                "ContactAddress": f"startd@m{i}",
+            }
+        )
+        ad.set_expr("Constraint", 'other.Type == "Job"')
+        ad.set_expr("Rank", "0")
+        ads.append(ad)
+    return ads
+
+
+def build_requests(n, rng):
+    requests = {}
+    for s in range(4):
+        jobs = []
+        for i in range(n // 4):
+            ad = ClassAd(
+                {
+                    "Type": "Job",
+                    "JobId": s * 1000 + i,
+                    "Owner": f"user{s}",
+                    "Memory": rng.choice([16, 31, 64]),
+                    "ReqArch": rng.choice(ARCHS),
+                    "ReqOpSys": rng.choice(OPSYSES),
+                    "ContactAddress": f"schedd@user{s}",
+                }
+            )
+            ad.set_expr(
+                "Constraint",
+                'other.Type == "Machine" && other.Arch == self.ReqArch '
+                "&& other.OpSys == self.ReqOpSys && other.Memory >= self.Memory",
+            )
+            ad.set_expr("Rank", "other.KFlops / 1E3")
+            jobs.append(ad)
+        requests[f"user{s}"] = jobs
+    return requests
+
+
+def run_cycle(providers, requests, use_index):
+    stats = CycleStats()
+    index = ProviderIndex(providers) if use_index else None
+    start = time.perf_counter()
+    assignments = negotiation_cycle(requests, providers, index=index, stats=stats)
+    elapsed = time.perf_counter() - start
+    return assignments, elapsed, stats
+
+
+def test_scaling_series(benchmark):
+    sizes = [100, 250, 500, 1_000, 2_000]
+
+    def sweep():
+        rows = []
+        for n in sizes:
+            rng = RngStream(n, "pool")
+            providers = build_pool(n, rng.fork("machines"))
+            requests = build_requests(100, rng.fork("jobs"))
+            naive_assignments, naive_time, _ = run_cycle(providers, requests, False)
+            indexed_assignments, indexed_time, stats = run_cycle(
+                providers, requests, True
+            )
+            # Same outcome, cheaper search.
+            assert [
+                (a.submitter, a.provider.evaluate("Name"))
+                for a in naive_assignments
+            ] == [
+                (a.submitter, a.provider.evaluate("Name"))
+                for a in indexed_assignments
+            ]
+            rows.append(
+                (
+                    n,
+                    len(naive_assignments),
+                    f"{1000 * naive_time:.0f}ms",
+                    f"{1000 * indexed_time:.0f}ms",
+                    f"{naive_time / indexed_time:.1f}x",
+                    stats.constraint_evaluations_saved,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = table(
+        ["machines", "matched", "naive cycle", "indexed cycle", "speedup", "evals pruned"],
+        rows,
+    )
+    write_report("E6_scalability", report)
+
+    # Shape: index never loses, and wins clearly at scale.
+    big = rows[-1]
+    speedup = float(big[4].rstrip("x"))
+    assert speedup > 2.0
+
+
+def test_single_cycle_1000_machines(benchmark):
+    rng = RngStream(1, "bench")
+    providers = build_pool(1_000, rng.fork("m"))
+    requests = build_requests(50, rng.fork("j"))
+    index = ProviderIndex(providers)
+
+    def cycle():
+        return negotiation_cycle(requests, providers, index=index)
+
+    assignments = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert len(assignments) > 0
+
+
+def test_index_build_cost(benchmark):
+    rng = RngStream(2, "bench")
+    providers = build_pool(1_000, rng.fork("m"))
+    index = benchmark.pedantic(ProviderIndex, args=(providers,), rounds=3, iterations=1)
+    assert len(index) == 1_000

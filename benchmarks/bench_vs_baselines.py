@@ -1,0 +1,146 @@
+"""E3 — matchmaking vs. the conventional architectures of Sections 1–2.
+
+One shared scenario (heterogeneous pool, mostly distributively owned,
+imbalanced demand), three systems:
+
+* matchmaking (CondorPool) — full pool, bilateral policies, opportunism;
+* static queues (platform × department partition, jobs bound a priori);
+* central system-model allocator — dedicated machines only.
+
+Regenerates the comparison table.  Expected shape: matchmaking > queues
+> central in delivered goodput; matchmaking exceeds the dedicated-only
+ceiling (it provably harvested owner-idle time).
+"""
+
+from repro.baselines import CentralAllocator, QueueBasedScheduler
+from repro.condor import (
+    CondorPool,
+    Job,
+    MachineSpec,
+    OfficeHoursOwner,
+    PoolConfig,
+)
+
+from _report import table, write_report
+
+HORIZON = 86_400.0
+
+
+def scenario():
+    owners = {}
+    specs = [
+        MachineSpec(name="ded0", arch="INTEL"),
+        MachineSpec(name="ded1", arch="SPARC"),
+    ]
+    for i in range(10):
+        arch = "INTEL" if i % 2 == 0 else "SPARC"
+        spec = MachineSpec(name=f"own{i}", arch=arch)
+        specs.append(spec)
+        owners[spec.name] = OfficeHoursOwner(start=9 * 3600, end=17 * 3600, jitter=0.0)
+    jobs = []
+    for count, owner in ((240, "groupA"), (40, "groupB")):
+        for i in range(count):
+            jobs.append(
+                Job(
+                    owner=owner,
+                    total_work=3_600.0,
+                    req_arch="INTEL" if i % 2 == 0 else "SPARC",
+                    want_checkpoint=True,
+                )
+            )
+    return specs, owners, jobs
+
+
+def fresh(jobs):
+    return [
+        Job(
+            owner=j.owner,
+            total_work=j.total_work,
+            req_arch=j.req_arch,
+            want_checkpoint=j.want_checkpoint,
+        )
+        for j in jobs
+    ]
+
+
+def run_matchmaking(specs, owners, jobs):
+    pool = CondorPool(
+        specs,
+        PoolConfig(seed=101, advertise_interval=300.0, negotiation_interval=300.0),
+        owner_models=dict(owners),
+    )
+    for job in jobs:
+        pool.submit(job)
+    pool.run_until(HORIZON)
+    return pool.metrics
+
+
+def run_queues(specs, owners, jobs):
+    system = QueueBasedScheduler(seed=101)
+    for spec in specs:
+        system.add_machine(spec, owner_model=owners.get(spec.name))
+    # Pairs of consecutive machines (one INTEL, one SPARC) alternate
+    # departments, so each department's queues cover both platforms.
+    dept = {s.name: ("A" if (i // 2) % 2 == 0 else "B") for i, s in enumerate(specs)}
+    for d in ("A", "B"):
+        for arch in ("INTEL", "SPARC"):
+            members = [s.name for s in specs if dept[s.name] == d and s.arch == arch]
+            if members:
+                system.add_queue(f"q_{d}_{arch}", members)
+    for job in jobs:
+        system.submit(job, f"q_{'A' if job.owner == 'groupA' else 'B'}_{job.req_arch}")
+    system.start()
+    system.run_until(HORIZON)
+    return system.metrics
+
+
+def run_central(specs, owners, jobs):
+    system = CentralAllocator(seed=101)
+    for spec in specs:
+        system.add_machine(spec, owner_model=owners.get(spec.name))
+    for job in jobs:
+        system.submit(job)
+    system.start()
+    system.run_until(HORIZON)
+    return system.metrics
+
+
+def test_architecture_comparison(benchmark):
+    def run_all():
+        specs, owners, jobs = scenario()
+        return {
+            "matchmaking": run_matchmaking(specs, owners, fresh(jobs)),
+            "static queues": run_queues(specs, owners, fresh(jobs)),
+            "central model": run_central(specs, owners, fresh(jobs)),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            f"{m.goodput:.0f}",
+            m.jobs_completed,
+            f"{m.wait_time.mean:.0f}s",
+            f"{m.badput:.0f}",
+        )
+        for name, m in results.items()
+    ]
+    report = table(
+        ["system", "goodput (ref-cpu·s)", "jobs done", "mean wait", "badput"], rows
+    )
+    speedups = (
+        f"\nmatchmaking / central  : "
+        f"{results['matchmaking'].goodput / results['central model'].goodput:.2f}x\n"
+        f"matchmaking / queues   : "
+        f"{results['matchmaking'].goodput / results['static queues'].goodput:.2f}x"
+    )
+    write_report("E3_vs_baselines", report + speedups)
+
+    mm, q, c = (
+        results["matchmaking"].goodput,
+        results["static queues"].goodput,
+        results["central model"].goodput,
+    )
+    assert mm > q > c
+    assert c <= 2 * HORIZON + 1.0  # dedicated-only ceiling
+    assert mm > 2 * HORIZON  # harvested owned machines

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""A day in the life of a Condor pool (Section 4, end to end).
+
+Simulates 24 hours of a 20-workstation pool: most machines have
+office-hours owners, two are dedicated; three users submit batches of
+checkpointing simulation jobs.  Prints pool metrics, the fair-share
+ledger, and an excerpt of the protocol trace.
+
+Run:  python examples/condor_day.py
+"""
+
+from repro.condor import (
+    CondorPool,
+    JobProfile,
+    OfficeHoursOwner,
+    PoolConfig,
+    PoolProfile,
+    generate_jobs,
+    generate_pool,
+    poisson_arrival_times,
+)
+from repro.sim import RngStream
+
+DAY = 86_400.0
+
+
+def main():
+    rng = RngStream(2026)
+
+    # -- the pool: 18 owned workstations + 2 dedicated servers -------------
+    specs = generate_pool(rng.fork("machines"), 18, PoolProfile())
+    specs += generate_pool(
+        rng.fork("servers"),
+        2,
+        PoolProfile(mips_range=(250.0, 400.0)),
+        name_prefix="server",
+    )
+    owner_models = {
+        spec.name: OfficeHoursOwner(start=9 * 3600, end=17 * 3600)
+        for spec in specs
+        if spec.name.startswith("vm")
+    }
+
+    pool = CondorPool(
+        specs,
+        PoolConfig(seed=2026, advertise_interval=300.0, negotiation_interval=300.0),
+        owner_models=owner_models,
+    )
+
+    # -- the workload: three users, Poisson arrivals through the morning ---
+    for user, count in (("raman", 60), ("miron", 40), ("jbasney", 20)):
+        jobs = generate_jobs(
+            rng.fork(f"jobs/{user}"), user, count, JobProfile(mean_work=4_800.0)
+        )
+        # Jobs arrive through the workday (from 8:30am), so the pool
+        # must work around the owners — opportunistic scheduling on show.
+        arrivals = poisson_arrival_times(
+            rng.fork(f"arrivals/{user}"), count, rate=count / (6 * 3600.0),
+            start=8.5 * 3600.0,
+        )
+        pool.submit_all(jobs, arrivals)
+
+    print(f"simulating {len(specs)} machines, 120 jobs, 24 hours ...")
+    pool.run_until(DAY)
+
+    # -- results ----------------------------------------------------------
+    print()
+    print("pool metrics:")
+    print("  " + pool.metrics.summary().replace("\n", "\n  "))
+    print(f"  utilization        : {pool.utilization.utilization(DAY):.1%}")
+    print(f"  rank preemptions   : {pool.preemption_count()}")
+    print()
+
+    print("fair-share ledger (condor_userprio view):")
+    print(f"  {'user':<10} {'eff. priority':>14} {'usage (cpu·s)':>14} {'in use':>7}")
+    for name, priority, usage, in_use in pool.accountant.usage_report():
+        print(f"  {name:<10} {priority:>14.2f} {usage:>14.0f} {in_use:>7}")
+    print()
+
+    print("protocol trace excerpt (first match of the day):")
+    first_match = pool.trace.first("match")
+    window = pool.trace.between(first_match.time - 0.5, first_match.time + 120.0)
+    for event in window[:12]:
+        print("  " + str(event))
+
+    print()
+    unfinished = [j for j in pool.jobs() if not j.done]
+    if unfinished:
+        from repro.matchmaking import diagnose
+
+        print(f"{len(unfinished)} job(s) did not finish; diagnosing the first:")
+        job_ad = unfinished[0].to_classad("schedd@x", pool.sim.now)
+        report = diagnose(job_ad, pool.collector.machine_ads())
+        print("  " + report.render().replace("\n", "\n  "))
+        print()
+
+    completed = pool.completed_jobs()
+    if completed:
+        slowest = max(completed, key=lambda j: j.turnaround())
+        print(
+            f"slowest job: #{slowest.job_id} of {slowest.owner}: "
+            f"{slowest.turnaround():.0f}s turnaround, "
+            f"{slowest.evictions} eviction(s), {slowest.matches} match(es)"
+        )
+
+
+if __name__ == "__main__":
+    main()

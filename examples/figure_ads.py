@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's Figures 1 and 2, reproduced and exercised (experiments F1/F2).
+
+Prints the two classads, then sweeps the Figure 1 owner policy over the
+scenarios Section 4 narrates: research group / friends / strangers /
+untrusted users, across machine states and times of day.
+
+Run:  python examples/figure_ads.py
+"""
+
+from repro.classads import is_true, rank_value, unparse_classad
+from repro.paper import figure1_machine, figure1_machine_at, figure2_job, job_from
+
+NOON, NIGHT = 12 * 3600, 22 * 3600
+IDLE, TYPING = 1800, 10
+
+
+def verdict(machine, owner):
+    job = job_from(owner)
+    ok = is_true(machine.evaluate("Constraint", other=job))
+    rank = rank_value(machine.evaluate("Rank", other=job))
+    return ("YES" if ok else "no "), rank
+
+
+def main():
+    machine = figure1_machine()
+    job = figure2_job()
+
+    print("=" * 72)
+    print("Figure 1 — a classad describing a workstation")
+    print("=" * 72)
+    print(unparse_classad(machine))
+    print()
+    print("=" * 72)
+    print("Figure 2 — a classad describing a submitted job")
+    print("=" * 72)
+    print(unparse_classad(job))
+    print()
+
+    print("Bilateral match of the two figures:")
+    print("  machine accepts job :", is_true(machine.evaluate("Constraint", other=job)))
+    print("  job accepts machine :", is_true(job.evaluate("Constraint", other=machine)))
+    print("  machine's Rank of job   :", machine.evaluate("Rank", other=job))
+    print("  job's Rank of machine   :", round(rank_value(job.evaluate("Rank", other=machine)), 3))
+    print()
+
+    print("Figure 1 policy matrix (Section 4's narration):")
+    print(f"  {'requester':<12} {'machine state':<34} {'match':<6} rank")
+    scenarios = [
+        ("raman", "noon, owner typing, loaded", figure1_machine_at(NOON, TYPING, 2.0)),
+        ("tannenba", "noon, idle 30 min, load 0.05", figure1_machine_at(NOON, IDLE, 0.05)),
+        ("tannenba", "noon, owner typing", figure1_machine_at(NOON, TYPING, 0.05)),
+        ("stranger", "noon, idle 30 min", figure1_machine_at(NOON, IDLE, 0.05)),
+        ("stranger", "10 pm, owner typing", figure1_machine_at(NIGHT, TYPING, 2.0)),
+        ("rival", "10 pm, idle 30 min", figure1_machine_at(NIGHT, IDLE, 0.0)),
+    ]
+    for owner, description, m in scenarios:
+        ok, rank = verdict(m, owner)
+        print(f"  {owner:<12} {description:<34} {ok:<6} {rank:g}")
+
+    print()
+    print("Tiers (Section 4): research > friends > others — ranks:",
+          [rank_value(machine.evaluate("Rank", other=job_from(o)))
+           for o in ("miron", "wright", "stranger")])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — a reproduction of "Matchmaking: Distributed Resource Management
+for High Throughput Computing" (Raman, Livny & Solomon, HPDC 1998).
+
+Subpackages map to DESIGN.md's system inventory:
+
+* :mod:`repro.classads` — the classad language (data model + query
+  language folded together; Section 3.1).
+* :mod:`repro.matchmaking` — bilateral matching, ranking, the matchmaker
+  service, fair-share accounting, and the Section 5 future-work systems
+  (gangmatching, aggregation, diagnostics).
+* :mod:`repro.protocols` — advertising, match-notification, and claiming
+  protocols, including authorization tickets (Sections 3.2 and 4).
+* :mod:`repro.sim` — the discrete-event simulation and network substrate
+  standing in for the paper's campus pool.
+* :mod:`repro.condor` — the Condor-style agents: resource-owner agents
+  (startd), customer agents (schedd), collector and negotiator
+  (Section 4).
+* :mod:`repro.baselines` — the conventional systems of Sections 1–2:
+  static queues (NQE/PBS/LSF-style) and a centralized system-model
+  allocator.
+"""
+
+__version__ = "1.0.0"
+
+from .classads import ClassAd, evaluate, parse, parse_record, unparse
+
+__all__ = ["ClassAd", "evaluate", "parse", "parse_record", "unparse", "__version__"]

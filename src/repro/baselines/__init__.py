@@ -1,0 +1,24 @@
+"""Conventional resource-management baselines — S18–S19 in DESIGN.md.
+
+These reimplement the structural properties of the systems the paper
+contrasts matchmaking against (Sections 1–2):
+
+* :class:`QueueBasedScheduler` — NQE/PBS/LSF-style static queues: jobs
+  are bound to a queue (and hence a fixed resource set) a priori;
+* :class:`CentralAllocator` — a centralized scheduler over a monolithic
+  system model, which cannot express owner policies and therefore only
+  ever receives the dedicated machines (or, in the ablation variant,
+  runs on owned machines and gets jobs killed by returning owners).
+"""
+
+from .central import CentralAllocator
+from .machines import BaselineMachine
+from .queues import JobQueue, QueueBasedScheduler, UnknownQueueError
+
+__all__ = [
+    "BaselineMachine",
+    "CentralAllocator",
+    "JobQueue",
+    "QueueBasedScheduler",
+    "UnknownQueueError",
+]

@@ -1,0 +1,161 @@
+"""Centralized system-model allocator — S19, the Section 1 baseline.
+
+Section 1: the conventional paradigm needs "a system model, which is an
+abstraction of the underlying resources", and "distributed ownership
+makes it impossible to formulate a monolithic system model": the model
+has no language for "a job can run on a workstation only if ... the
+keyboard hasn't been touched for over fifteen minutes", so owners of
+personal workstations will not hand their machines to a scheduler that
+cannot promise to respect them.
+
+We therefore give the central allocator what it historically got:
+**only the dedicated machines** (those with no interactive owner).  The
+allocator itself is a perfectly good global FCFS scheduler over its
+system model — its handicap is coverage, not cleverness, which is
+precisely the paper's argument for why opportunistic matchmaking
+harvests more cycles.
+
+A configuration knob (``include_owned_machines``) lets experiment E3's
+ablation also run the "angry owners" variant: owned machines join the
+pool, the model ignores the owner, and every owner arrival kills the
+running job without checkpoint (the pre-Condor experience that made
+owners opt out).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..condor.jobs import Job
+from ..condor.machine import MachineSpec, OwnerModel
+from ..condor.states import JobState
+from ..sim import PoolMetrics, RngStream, Simulator
+from .machines import BaselineMachine
+
+
+class CentralAllocator:
+    """Global FCFS scheduling against a monolithic system model."""
+
+    def __init__(self, seed: int = 1, include_owned_machines: bool = False):
+        self.sim = Simulator()
+        self.rng = RngStream(seed)
+        self.metrics = PoolMetrics()
+        self.machines: Dict[str, BaselineMachine] = {}
+        self.waiting: Deque[Job] = deque()
+        self.include_owned_machines = include_owned_machines
+        self._pending_submissions = 0
+
+    def add_machine(
+        self, spec: MachineSpec, owner_model: Optional[OwnerModel] = None
+    ) -> Optional[BaselineMachine]:
+        """Add a machine to the system model.
+
+        A machine with an interactive owner is refused unless
+        ``include_owned_machines`` — the model cannot express the owner's
+        policy, so by default the owner never donates it.
+        """
+        owned = owner_model is not None and type(owner_model) is not OwnerModel
+        if owned and not self.include_owned_machines:
+            return None
+        machine = BaselineMachine(
+            self.sim,
+            spec,
+            owner_model=owner_model,
+            rng=self.rng.fork(f"owner/{spec.name}"),
+            on_available=self._machine_available,
+            on_eviction=self._job_evicted,
+        )
+        self.machines[spec.name] = machine
+        return machine
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, job: Job, at: Optional[float] = None) -> None:
+        if at is not None:
+            self._pending_submissions += 1
+
+            def arrive():
+                self._pending_submissions -= 1
+                self._enqueue(job)
+
+            self.sim.schedule_at(at, arrive)
+        else:
+            self._enqueue(job)
+
+    def _enqueue(self, job: Job) -> None:
+        job.submit_time = self.sim.now
+        job.state = JobState.IDLE
+        self.metrics.jobs_submitted += 1
+        self.waiting.append(job)
+        self._dispatch()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        still_waiting: Deque[Job] = deque()
+        while self.waiting:
+            job = self.waiting.popleft()
+            machine = self._find_machine(job)
+            if machine is None:
+                still_waiting.append(job)
+            else:
+                self._start(job, machine)
+        self.waiting = still_waiting
+
+    def _find_machine(self, job: Job) -> Optional[BaselineMachine]:
+        for machine in self.machines.values():
+            if machine.available and machine.can_run(job):
+                return machine
+        return None
+
+    def _start(self, job: Job, machine: BaselineMachine) -> None:
+        job.state = JobState.RUNNING
+        job.running_on = machine.spec.name
+        if job.first_start_time is None:
+            job.first_start_time = self.sim.now
+            self.metrics.wait_time.add(job.first_start_time - job.submit_time)
+        machine.start_job(job, self._job_done)
+
+    def _job_done(self, job: Job, work_done: float) -> None:
+        job.state = JobState.COMPLETED
+        job.completion_time = self.sim.now
+        job.running_on = None
+        self.metrics.jobs_completed += 1
+        self.metrics.goodput += work_done
+        self.metrics.turnaround.add(job.completion_time - job.submit_time)
+
+    def _job_evicted(self, job: Job, work_done: float, checkpointed: bool) -> None:
+        # The monolithic model has no checkpoint protocol with owners:
+        # an owner arrival simply kills the job (the "angry owner" cost).
+        job.state = JobState.IDLE
+        job.running_on = None
+        job.evictions += 1
+        job.restarts += 1
+        self.metrics.evictions += 1
+        self.metrics.badput += work_done
+        self.waiting.appendleft(job)
+        self._dispatch()
+
+    def _machine_available(self, machine: BaselineMachine) -> None:
+        self._dispatch()
+
+    # -- execution ----------------------------------------------------------
+
+    def start(self) -> None:
+        for machine in self.machines.values():
+            machine.start()
+
+    def run_until(self, time: float) -> None:
+        self.sim.run_until(time)
+
+    def unfinished(self) -> int:
+        return self.metrics.jobs_submitted - self.metrics.jobs_completed
+
+    def run_until_quiescent(self, check_interval: float = 300.0, max_time: float = 1e7) -> float:
+        self.start()
+        while self.sim.now < max_time:
+            self.sim.run_until(self.sim.now + check_interval)
+            if self._pending_submissions == 0 and self.unfinished() == 0:
+                return self.sim.now
+        return self.sim.now

@@ -1,0 +1,114 @@
+"""Shared machine model for the baseline schedulers — part of S18/S19.
+
+The baselines of Sections 1–2 (static queues, centralized system model)
+predate the matchmaking protocols, so they are simulated without the
+advertising/claiming stack: a scheduler object holds direct references
+to machines and assigns jobs synchronously.  The *physical* behaviour —
+owner arrivals evicting jobs, speed scaling, checkpoint retention — is
+identical to :class:`repro.condor.machine.MachineAgent`, so throughput
+comparisons (experiment E3) isolate the allocation architecture rather
+than the workload model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..condor.jobs import REFERENCE_MIPS, Job
+from ..condor.machine import MachineSpec, OwnerModel
+from ..sim import Simulator
+
+
+class BaselineMachine:
+    """A workstation under a baseline scheduler's direct control."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: MachineSpec,
+        owner_model: Optional[OwnerModel] = None,
+        rng=None,
+        on_available: Optional[Callable[["BaselineMachine"], None]] = None,
+        on_eviction: Optional[Callable[[Job, float, bool], None]] = None,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.owner_model = owner_model or OwnerModel()
+        self.rng = rng
+        self.on_available = on_available
+        self.on_eviction = on_eviction
+        self.owner_active = False
+        self.running: Optional[Job] = None
+        self._started_at = 0.0
+        self._completion_handle = None
+        self._on_done: Optional[Callable[[Job, float], None]] = None
+        self.jobs_completed = 0
+        self.evictions = 0
+
+    def start(self) -> None:
+        active, until_change = self.owner_model.first_event(self.rng)
+        self.owner_active = active
+        if until_change != float("inf"):
+            self.sim.schedule(until_change, self._owner_flip)
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        return not self.owner_active and self.running is None
+
+    def _owner_flip(self) -> None:
+        if self.owner_active:
+            self.owner_active = False
+            next_in = self.owner_model.idle_duration(self.rng)
+            if self.on_available is not None:
+                self.on_available(self)
+        else:
+            self.owner_active = True
+            if self.running is not None:
+                self._evict()
+            next_in = self.owner_model.active_duration(self.rng)
+        if next_in != float("inf"):
+            self.sim.schedule(next_in, self._owner_flip)
+
+    # -- execution ----------------------------------------------------------
+
+    def can_run(self, job: Job) -> bool:
+        """Static compatibility: platform and memory fit."""
+        return (
+            job.req_arch == self.spec.arch
+            and job.req_opsys == self.spec.opsys
+            and job.memory <= self.spec.memory
+        )
+
+    def start_job(self, job: Job, on_done: Callable[[Job, float], None]) -> None:
+        if not self.available:
+            raise RuntimeError(f"{self.spec.name} is not available")
+        self.running = job
+        self._on_done = on_done
+        self._started_at = self.sim.now
+        wall = job.remaining_work * REFERENCE_MIPS / self.spec.mips
+        self._completion_handle = self.sim.schedule(wall, self._complete)
+
+    def _work_done(self) -> float:
+        return (self.sim.now - self._started_at) * self.spec.mips / REFERENCE_MIPS
+
+    def _complete(self) -> None:
+        job, on_done = self.running, self._on_done
+        self.running = None
+        self._on_done = None
+        self.jobs_completed += 1
+        on_done(job, self._work_done())
+        if self.available and self.on_available is not None:
+            self.on_available(self)
+
+    def _evict(self) -> None:
+        job = self.running
+        self.running = None
+        self._on_done = None
+        if self._completion_handle is not None:
+            self.sim.cancel(self._completion_handle)
+            self._completion_handle = None
+        self.evictions += 1
+        if self.on_eviction is not None:
+            self.on_eviction(job, self._work_done(), job.want_checkpoint)

@@ -1,0 +1,204 @@
+"""Static-queue scheduler — S18, the NQE/PBS/LSF-style baseline.
+
+Section 2: "Systems such as NQE, PBS, LSF and LoadLeveler process user
+submitted jobs by finding resources that have been identified either
+explicitly through a job control language, or implicitly by submitting
+the job to a particular queue that is associated with a set of
+resources.  Customers of the system have to identify a specific queue to
+submit to a priori, which then fixes the set of resources that may be
+used, and hinders dynamic qualitative resource discovery."
+
+Faithfully reproduced properties:
+
+* each queue is statically bound to a machine subset at configuration
+  time (the administrator "anticipates the services");
+* a job is submitted *to a queue* and can only ever run on that queue's
+  machines — idle capacity in other queues is invisible to it;
+* scheduling within a queue is FCFS;
+* there is no bilateral policy language: a machine is either in a queue
+  or not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..condor.jobs import Job
+from ..condor.machine import MachineSpec, OwnerModel
+from ..condor.states import JobState
+from ..sim import PoolMetrics, RngStream, Simulator
+from .machines import BaselineMachine
+
+
+class UnknownQueueError(KeyError):
+    """Submitting to a queue the administrator never configured."""
+
+
+@dataclass
+class JobQueue:
+    """One configured queue and its FCFS backlog."""
+
+    name: str
+    machines: List[BaselineMachine]
+    waiting: Deque[Job] = field(default_factory=deque)
+
+
+class QueueBasedScheduler:
+    """The complete static-queue system on a simulator."""
+
+    def __init__(self, seed: int = 1):
+        self.sim = Simulator()
+        self.rng = RngStream(seed)
+        self.metrics = PoolMetrics()
+        self.queues: Dict[str, JobQueue] = {}
+        self._machine_queues: Dict[str, List[JobQueue]] = {}
+        self.machines: Dict[str, BaselineMachine] = {}
+        self._pending_submissions = 0
+
+    # -- configuration -------------------------------------------------
+
+    def add_machine(
+        self, spec: MachineSpec, owner_model: Optional[OwnerModel] = None
+    ) -> BaselineMachine:
+        machine = BaselineMachine(
+            self.sim,
+            spec,
+            owner_model=owner_model,
+            rng=self.rng.fork(f"owner/{spec.name}"),
+            on_available=self._machine_available,
+            on_eviction=self._job_evicted,
+        )
+        self.machines[spec.name] = machine
+        self._machine_queues[spec.name] = []
+        return machine
+
+    def add_queue(self, name: str, machine_names: Sequence[str]) -> JobQueue:
+        """Bind a queue to a fixed machine subset (admin-time decision)."""
+        machines = [self.machines[m] for m in machine_names]
+        queue = JobQueue(name=name, machines=machines)
+        self.queues[name] = queue
+        for machine_name in machine_names:
+            self._machine_queues[machine_name].append(queue)
+        return queue
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, job: Job, queue_name: str, at: Optional[float] = None) -> None:
+        """Submit *job* to *queue_name* — the a-priori binding the paper
+        criticizes: this fixes the set of usable resources forever."""
+        if queue_name not in self.queues:
+            raise UnknownQueueError(queue_name)
+        if at is not None:
+            self._pending_submissions += 1
+
+            def arrive():
+                self._pending_submissions -= 1
+                self._enqueue(job, self.queues[queue_name])
+
+            self.sim.schedule_at(at, arrive)
+        else:
+            self._enqueue(job, self.queues[queue_name])
+
+    def _enqueue(self, job: Job, queue: JobQueue) -> None:
+        job.submit_time = self.sim.now
+        job.state = JobState.IDLE
+        self.metrics.jobs_submitted += 1
+        queue.waiting.append(job)
+        self._dispatch(queue)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _dispatch(self, queue: JobQueue) -> None:
+        """FCFS: start waiting jobs on the queue's idle machines.
+
+        Head-of-line semantics: a job that fits no currently-idle machine
+        blocks the ones behind it only if nothing else can start — we
+        scan past unplaceable jobs, which is the kinder variant (pure
+        head-of-line would make this baseline look even worse).
+        """
+        if not queue.waiting:
+            return
+        still_waiting: Deque[Job] = deque()
+        while queue.waiting:
+            job = queue.waiting.popleft()
+            machine = self._find_idle_machine(queue, job)
+            if machine is None:
+                still_waiting.append(job)
+            else:
+                self._start(job, machine)
+        queue.waiting = still_waiting
+
+    def _find_idle_machine(self, queue: JobQueue, job: Job) -> Optional[BaselineMachine]:
+        for machine in queue.machines:
+            if machine.available and machine.can_run(job):
+                return machine
+        return None
+
+    def _start(self, job: Job, machine: BaselineMachine) -> None:
+        job.state = JobState.RUNNING
+        job.running_on = machine.spec.name
+        if job.first_start_time is None:
+            job.first_start_time = self.sim.now
+            self.metrics.wait_time.add(job.first_start_time - job.submit_time)
+        machine.start_job(job, self._job_done)
+
+    def _job_done(self, job: Job, work_done: float) -> None:
+        job.state = JobState.COMPLETED
+        job.completion_time = self.sim.now
+        job.running_on = None
+        self.metrics.jobs_completed += 1
+        self.metrics.goodput += work_done
+        self.metrics.turnaround.add(job.completion_time - job.submit_time)
+
+    def _job_evicted(self, job: Job, work_done: float, checkpointed: bool) -> None:
+        # Static binding: the job goes back to (the front of) a queue the
+        # evicting machine belongs to — it can never escape its queue.
+        evicting_machine = job.running_on
+        job.state = JobState.IDLE
+        job.running_on = None
+        job.evictions += 1
+        self.metrics.evictions += 1
+        if checkpointed:
+            job.completed_work += work_done
+            self.metrics.evictions_checkpointed += 1
+            self.metrics.goodput += work_done
+        else:
+            job.restarts += 1
+            self.metrics.badput += work_done
+        home = self._home_queue(evicting_machine)
+        if home is None:
+            raise RuntimeError(f"machine {evicting_machine} belongs to no queue")
+        home.waiting.appendleft(job)
+        self._dispatch(home)
+
+    def _home_queue(self, machine_name: str) -> Optional[JobQueue]:
+        queues = self._machine_queues.get(machine_name, [])
+        return queues[0] if queues else None
+
+    def _machine_available(self, machine: BaselineMachine) -> None:
+        for queue in self._machine_queues[machine.spec.name]:
+            self._dispatch(queue)
+            if not machine.available:
+                return
+
+    # -- execution ----------------------------------------------------------
+
+    def start(self) -> None:
+        for machine in self.machines.values():
+            machine.start()
+
+    def run_until(self, time: float) -> None:
+        self.sim.run_until(time)
+
+    def unfinished(self) -> int:
+        return self.metrics.jobs_submitted - self.metrics.jobs_completed
+
+    def run_until_quiescent(self, check_interval: float = 300.0, max_time: float = 1e7) -> float:
+        self.start()
+        while self.sim.now < max_time:
+            self.sim.run_until(self.sim.now + check_interval)
+            if self._pending_submissions == 0 and self.unfinished() == 0:
+                return self.sim.now
+        return self.sim.now

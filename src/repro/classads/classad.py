@@ -1,0 +1,209 @@
+"""The ClassAd container: "a mapping from attribute names to expressions".
+
+This is the paper's central data structure (Section 3.1).  A ClassAd
+behaves as an ordered, case-insensitive mapping whose values are
+unevaluated :class:`~repro.classads.ast.Expr` nodes; evaluation happens
+lazily, in an environment that may pair the ad with a candidate ("other")
+ad — see :mod:`repro.classads.evaluator`.
+
+Ads are mutable (agents update ``State``, ``LoadAvg`` etc. between
+advertisements) and therefore unhashable, like ``dict``; the collector
+and matchmaker key their stores by advertised name instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from .ast import Expr, Literal, ListExpr, RecordExpr
+from .values import (
+    UNDEFINED,
+    ErrorValue,
+    UndefinedType,
+    is_classad,
+)
+
+
+def _value_to_expr(value: Any) -> Expr:
+    """Convert a Python value (or Expr) to an expression node.
+
+    Accepted: Expr (passed through), int/float/str/bool/undefined/error
+    literals, lists (recursively), ClassAds and dicts (to nested records).
+    Strings are treated as literal strings, *not* parsed — use
+    :meth:`ClassAd.set_expr` or the parser for expression-valued strings.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (bool, int, float, str, UndefinedType, ErrorValue)):
+        return Literal(value)
+    if value is None:
+        return Literal(UNDEFINED)
+    if isinstance(value, (list, tuple)):
+        return ListExpr([_value_to_expr(v) for v in value])
+    if isinstance(value, ClassAd):
+        return RecordExpr(list(value.items()))
+    if isinstance(value, Mapping):
+        return RecordExpr([(k, _value_to_expr(v)) for k, v in value.items()])
+    raise TypeError(f"cannot convert {type(value).__name__} to a classad expression")
+
+
+class ClassAd:
+    """An ordered, case-insensitive mapping from attribute names to expressions.
+
+    Construction accepts any mix of expressions and plain Python values::
+
+        ad = ClassAd({"Type": "Machine", "Memory": 64})
+        ad["Rank"] = parse("other.Memory / 32")
+
+    Key operations:
+
+    * ``ad[name]`` / ``ad.lookup(name)`` — the bound *expression*
+      (``lookup`` returns None when absent; ``[]`` raises KeyError).
+    * ``ad.evaluate(name, other=...)`` — evaluate an attribute in a match
+      environment (delegates to the evaluator).
+    * Insertion order is preserved for faithful unparsing.
+    """
+
+    __slots__ = ("_fields", "_names")
+
+    def __init__(self, fields: Union[None, Mapping, Iterable[Tuple[str, Any]]] = None):
+        # _fields maps canonical (lowercase) name -> Expr;
+        # _names maps canonical name -> original spelling, in insert order.
+        self._fields: Dict[str, Expr] = {}
+        self._names: Dict[str, str] = {}
+        if fields is not None:
+            items = fields.items() if isinstance(fields, Mapping) else fields
+            for name, value in items:
+                self[name] = value
+
+    # -- mapping protocol ----------------------------------------------
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        key = name.lower()
+        if key not in self._names:
+            self._names[key] = name
+        self._fields[key] = _value_to_expr(value)
+
+    def __getitem__(self, name: str) -> Expr:
+        expr = self._fields.get(name.lower())
+        if expr is None:
+            raise KeyError(name)
+        return expr
+
+    def __delitem__(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._fields:
+            raise KeyError(name)
+        del self._fields[key]
+        del self._names[key]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._fields
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names.values())
+
+    def keys(self) -> List[str]:
+        """Attribute names in insertion order, original spelling."""
+        return list(self._names.values())
+
+    def canonical_keys(self) -> List[str]:
+        """Attribute names in insertion order, lower-cased."""
+        return list(self._names.keys())
+
+    def items(self) -> List[Tuple[str, Expr]]:
+        """(name, expression) pairs in insertion order."""
+        return [(self._names[k], self._fields[k]) for k in self._names]
+
+    def lookup(self, name: str) -> Optional[Expr]:
+        """The expression bound to *name*, or None if absent."""
+        return self._fields.get(name.lower())
+
+    def set_expr(self, name: str, source: str) -> None:
+        """Bind *name* to the expression parsed from *source*."""
+        from .parser import parse
+
+        self[name] = parse(source)
+
+    def update(self, other: Union[Mapping, "ClassAd"]) -> None:
+        """Merge attributes from *other*, overwriting on collision."""
+        items = other.items() if hasattr(other, "items") else other
+        for name, value in items:
+            self[name] = value
+
+    def copy(self) -> "ClassAd":
+        """A shallow copy (expressions are immutable and shared)."""
+        return ClassAd(self.items())
+
+    # -- evaluation ------------------------------------------------------
+
+    def evaluate(self, name: str, other: Optional["ClassAd"] = None, **kwargs):
+        """Evaluate attribute *name* with this ad as ``self``.
+
+        Returns ``undefined`` when the attribute is absent, mirroring the
+        language rule for dangling references.
+        """
+        from .evaluator import evaluate_attribute
+
+        return evaluate_attribute(self, name, other=other, **kwargs)
+
+    def eval_expr(self, source_or_expr, other: Optional["ClassAd"] = None, **kwargs):
+        """Evaluate an expression (source text or Expr) against this ad."""
+        from .evaluator import evaluate
+        from .parser import parse
+
+        expr = (
+            parse(source_or_expr)
+            if isinstance(source_or_expr, str)
+            else source_or_expr
+        )
+        return evaluate(expr, self, other=other, **kwargs)
+
+    # -- conversion ------------------------------------------------------
+
+    def to_record(self) -> RecordExpr:
+        """This ad as a RecordExpr node (for nesting inside other ads)."""
+        return RecordExpr(self.items())
+
+    @classmethod
+    def from_record(cls, record: RecordExpr) -> "ClassAd":
+        """Build an ad from a parsed record expression."""
+        return cls(record.fields)
+
+    @classmethod
+    def parse(cls, text: str) -> "ClassAd":
+        """Parse classad source text (``[...]`` brackets optional)."""
+        from .parser import parse_record
+
+        return cls.from_record(parse_record(text))
+
+    def __str__(self) -> str:
+        from .unparse import unparse_classad
+
+        return unparse_classad(self)
+
+    def __repr__(self) -> str:
+        head = ", ".join(self.keys()[:4])
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"<ClassAd [{head}{suffix}] ({len(self)} attrs)>"
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same attributes bound to equal expressions.
+
+        Attribute *order* is ignored (two agents advertising the same
+        state in different orders describe the same entity); name case is
+        ignored per the language rules.
+        """
+        if not is_classad(other):
+            return NotImplemented
+        if self._fields.keys() != other._fields.keys():  # type: ignore[attr-defined]
+            return False
+        return all(
+            self._fields[k] == other._fields[k]  # type: ignore[attr-defined]
+            for k in self._fields
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable: unhashable like dict

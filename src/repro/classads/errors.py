@@ -1,0 +1,60 @@
+"""Exception types for the classad language implementation.
+
+The classad language itself (Raman et al., HPDC'98, Section 3.1) never
+raises during *evaluation*: type errors, bad function arguments and
+division by zero produce the in-language ``error`` value, and references
+to missing attributes produce ``undefined``.  Python exceptions are
+therefore reserved for problems *outside* evaluation: malformed source
+text handed to the lexer/parser, and host-side API misuse.
+"""
+
+from __future__ import annotations
+
+
+class ClassAdException(Exception):
+    """Base class for all exceptions raised by :mod:`repro.classads`."""
+
+
+class LexerError(ClassAdException):
+    """Raised when the source text contains an untokenizable character
+    sequence (e.g. an unterminated string literal).
+
+    Attributes
+    ----------
+    position:
+        Zero-based character offset of the offending input.
+    line, column:
+        One-based line and column, for human-readable messages.
+    """
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(ClassAdException):
+    """Raised when token stream does not form a valid classad expression.
+
+    Attributes
+    ----------
+    token:
+        The :class:`repro.classads.lexer.Token` at which parsing failed,
+        or ``None`` for unexpected end of input.
+    """
+
+    def __init__(self, message: str, token=None):
+        if token is not None:
+            message = f"{message} (line {token.line}, column {token.column})"
+        super().__init__(message)
+        self.token = token
+
+
+class EvaluationLimitExceeded(ClassAdException):
+    """Raised when an evaluation exceeds the configured depth/step budget.
+
+    This is a host-side safety valve against pathological (e.g. deeply
+    nested or adversarial) ads; ordinary circular references are handled
+    in-language by evaluating to ``undefined`` and never raise.
+    """

@@ -1,0 +1,453 @@
+"""Evaluator for classad expressions with the paper's three-valued logic.
+
+Semantics implemented (Section 3.1):
+
+* A reference to a non-existent attribute evaluates to ``undefined``.
+* Arithmetic and comparison operators are *strict*: if either operand is
+  ``undefined`` the result is ``undefined`` (``error`` dominates).
+* ``&&`` and ``||`` are *non-strict on both arguments*:
+  ``false && x == false`` and ``true || x == true`` for any ``x``,
+  including ``undefined`` and ``error``.
+* ``is`` / ``isnt`` always return Booleans (meta-identity), permitting
+  explicit tests like ``other.Memory is undefined``.
+* ``self.Name`` refers to the ad containing the reference, ``other.Name``
+  to the candidate ad of the match.
+
+Bare-name resolution.  The paper's prose says a bare name "assumes the
+self prefix", but its own Figure 2 relies on richer behaviour: the job's
+Constraint references ``Arch``, ``OpSys`` and ``Disk``, which exist only
+in the *machine* ad.  We therefore implement the classic Condor rule the
+figures assume: a bare name resolves lexically through enclosing nested
+records, then the root ad of its own side, and finally falls through to
+the other ad.  An attribute found in an ad is always evaluated in *that
+ad's* environment (its ``self`` is its home ad), so policy expressions
+mean the same thing no matter who triggers their evaluation.
+
+Totality.  Evaluation never raises for in-language faults; it returns the
+``error`` value.  Runaway recursion (pathological nesting) is cut off by
+a depth/step budget that also yields ``error`` — circular attribute
+references, however, are detected exactly and yield ``undefined`` per
+classic ClassAd behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    AttributeRef,
+    BinaryOp,
+    Conditional,
+    Expr,
+    FunctionCall,
+    ListExpr,
+    Literal,
+    RecordExpr,
+    Select,
+    Subscript,
+    UnaryOp,
+)
+from .classad import ClassAd
+from .values import (
+    ERROR,
+    UNDEFINED,
+    ErrorValue,
+    coerce_to_number,
+    is_boolean,
+    is_classad,
+    is_error,
+    is_integer,
+    is_list,
+    is_number,
+    is_string,
+    is_undefined,
+    values_identical,
+)
+
+#: Default ceiling on evaluate() steps; generous enough for any realistic
+#: policy ad (Figure 1's full evaluation takes ~60 steps) while bounding
+#: adversarial input.
+DEFAULT_MAX_STEPS = 100_000
+DEFAULT_MAX_DEPTH = 150
+
+
+class _EvalState:
+    """Mutable evaluation context for one toplevel evaluate() call.
+
+    ``self_ad``/``other_ad`` are the two root ads of the (possibly
+    one-sided) match environment.  ``scopes`` is the lexical chain of
+    enclosing records on the *self* side, innermost last.  ``in_progress``
+    holds (record-id, canonical-name) pairs for cycle detection.
+    """
+
+    __slots__ = ("self_ad", "other_ad", "scopes", "in_progress", "steps", "depth", "max_steps", "max_depth")
+
+    def __init__(self, self_ad, other_ad, max_steps, max_depth):
+        self.self_ad = self_ad
+        self.other_ad = other_ad
+        self.scopes = [self_ad] if self_ad is not None else []
+        self.in_progress = set()
+        self.steps = 0
+        self.depth = 0
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+
+    def flipped(self) -> "_EvalState":
+        """The same evaluation viewed from the other ad's side.
+
+        Shares the step budget and cycle set so ping-pong references
+        (self.Rank -> other.Rank -> self.Rank) terminate.
+        """
+        flipped = _EvalState.__new__(_EvalState)
+        flipped.self_ad = self.other_ad
+        flipped.other_ad = self.self_ad
+        flipped.scopes = [self.other_ad] if self.other_ad is not None else []
+        flipped.in_progress = self.in_progress
+        flipped.steps = self.steps
+        flipped.max_steps = self.max_steps
+        flipped.depth = self.depth
+        flipped.max_depth = self.max_depth
+        return flipped
+
+
+def evaluate(
+    expr: Expr,
+    self_ad: Optional[ClassAd] = None,
+    other: Optional[ClassAd] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+):
+    """Evaluate *expr* with *self_ad* as ``self`` and *other* as ``other``.
+
+    Either ad may be None (e.g. evaluating a detached expression, or a
+    one-way query against a single ad).  Returns a classad value; never
+    raises for in-language faults.
+    """
+    state = _EvalState(self_ad, other, max_steps, max_depth)
+    return _eval(expr, state)
+
+
+def evaluate_attribute(
+    ad: ClassAd,
+    name: str,
+    other: Optional[ClassAd] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+):
+    """Evaluate attribute *name* of *ad*; ``undefined`` if absent."""
+    expr = ad.lookup(name)
+    if expr is None:
+        return UNDEFINED
+    state = _EvalState(ad, other, max_steps, max_depth)
+    return _resolve_found(expr, ad, name, state)
+
+
+# ---------------------------------------------------------------------------
+# core dispatch
+
+
+def _eval(expr: Expr, state: _EvalState):
+    state.steps += 1
+    if state.steps > state.max_steps:
+        return ErrorValue("evaluation step budget exceeded")
+    if state.depth >= state.max_depth:
+        return ErrorValue("evaluation depth budget exceeded")
+    state.depth += 1
+    try:
+        kind = type(expr)
+        if kind is Literal:
+            return expr.value
+        if kind is AttributeRef:
+            return _eval_ref(expr, state)
+        if kind is BinaryOp:
+            return _eval_binary(expr, state)
+        if kind is UnaryOp:
+            return _eval_unary(expr, state)
+        if kind is Conditional:
+            return _eval_conditional(expr, state)
+        if kind is FunctionCall:
+            return _eval_call(expr, state)
+        if kind is Select:
+            return _eval_select(expr, state)
+        if kind is Subscript:
+            return _eval_subscript(expr, state)
+        if kind is ListExpr:
+            return [_eval(item, state) for item in expr.items]
+        if kind is RecordExpr:
+            return ClassAd.from_record(expr)
+        return ErrorValue(f"unknown expression node {kind.__name__}")
+    finally:
+        state.depth -= 1
+
+
+# ---------------------------------------------------------------------------
+# attribute resolution
+
+
+def _resolve_found(expr: Expr, container, name: str, state: _EvalState):
+    """Evaluate *expr*, found as attribute *name* of *container*, with
+    cycle detection keyed on the (container, name) pair."""
+    key = (id(container), name.lower())
+    if key in state.in_progress:
+        return UNDEFINED  # circular reference
+    state.in_progress.add(key)
+    try:
+        return _eval(expr, state)
+    finally:
+        state.in_progress.discard(key)
+
+
+def _eval_ref(ref: AttributeRef, state: _EvalState):
+    name = ref.canonical
+    if ref.scope == "self":
+        ad = state.self_ad
+        if ad is None:
+            return UNDEFINED
+        expr = ad.lookup(name)
+        if expr is None:
+            return UNDEFINED
+        return _resolve_found(expr, ad, name, state)
+    if ref.scope == "other":
+        ad = state.other_ad
+        if ad is None:
+            return UNDEFINED
+        expr = ad.lookup(name)
+        if expr is None:
+            return UNDEFINED
+        return _resolve_found(expr, ad, name, state.flipped())
+    # Bare name: lexical chain (innermost record outward), then root self
+    # ad (the chain's first element), then fall through to the other ad.
+    for depth in range(len(state.scopes) - 1, -1, -1):
+        scope = state.scopes[depth]
+        expr = scope.lookup(name)
+        if expr is not None:
+            # Evaluate in the scope chain as of that record's nesting level
+            # so sibling references inside nested records resolve there.
+            saved = state.scopes
+            state.scopes = state.scopes[: depth + 1]
+            try:
+                return _resolve_found(expr, scope, name, state)
+            finally:
+                state.scopes = saved
+    if state.other_ad is not None:
+        expr = state.other_ad.lookup(name)
+        if expr is not None:
+            return _resolve_found(expr, state.other_ad, name, state.flipped())
+    return UNDEFINED
+
+
+def _eval_select(node: Select, state: _EvalState):
+    base = _eval(node.base, state)
+    if is_undefined(base):
+        return UNDEFINED
+    if is_error(base):
+        return base
+    if not is_classad(base):
+        return ErrorValue(f"cannot select attribute of {type(base).__name__}")
+    expr = base.lookup(node.canonical)
+    if expr is None:
+        return UNDEFINED
+    # The selected record joins the lexical chain so its attributes can
+    # reference siblings; see module docstring for the scoping model.
+    state.scopes.append(base)
+    try:
+        return _resolve_found(expr, base, node.canonical, state)
+    finally:
+        state.scopes.pop()
+
+
+def _eval_subscript(node: Subscript, state: _EvalState):
+    base = _eval(node.base, state)
+    index = _eval(node.index, state)
+    for v in (base, index):
+        if is_error(v):
+            return v
+    for v in (base, index):
+        if is_undefined(v):
+            return UNDEFINED
+    if not is_list(base):
+        return ErrorValue("subscript of non-list")
+    if not is_integer(index):
+        return ErrorValue("non-integer subscript")
+    if 0 <= index < len(base):
+        return base[index]
+    return ErrorValue(f"subscript {index} out of range (list of {len(base)})")
+
+
+# ---------------------------------------------------------------------------
+# operators
+
+
+def _eval_unary(node: UnaryOp, state: _EvalState):
+    value = _eval(node.operand, state)
+    if node.op == "!":
+        if is_boolean(value):
+            return not value
+        if is_undefined(value):
+            return UNDEFINED
+        if is_error(value):
+            return value
+        return ErrorValue("! applied to non-boolean")
+    # numeric + / -
+    if is_error(value):
+        return value
+    if is_undefined(value):
+        return UNDEFINED
+    number = coerce_to_number(value)
+    if number is None:
+        return ErrorValue(f"unary {node.op} applied to non-number")
+    return -number if node.op == "-" else number
+
+
+def _eval_binary(node: BinaryOp, state: _EvalState):
+    op = node.op
+    if op == "&&":
+        return _eval_and(node, state)
+    if op == "||":
+        return _eval_or(node, state)
+    left = _eval(node.left, state)
+    right = _eval(node.right, state)
+    if op == "is":
+        return values_identical(left, right)
+    if op == "isnt":
+        return not values_identical(left, right)
+    # Strict operators: error dominates, then undefined.
+    if is_error(left):
+        return left
+    if is_error(right):
+        return right
+    if is_undefined(left) or is_undefined(right):
+        return UNDEFINED
+    if op in ("+", "-", "*", "/", "%"):
+        return _arith(op, left, right)
+    return _compare(op, left, right)
+
+
+def _eval_and(node: BinaryOp, state: _EvalState):
+    left = _to_logic(_eval(node.left, state))
+    if left is False:
+        return False
+    right = _to_logic(_eval(node.right, state))
+    if right is False:
+        return False
+    for v in (left, right):
+        if is_error(v):
+            return v
+    if is_undefined(left) or is_undefined(right):
+        return UNDEFINED
+    return True
+
+
+def _eval_or(node: BinaryOp, state: _EvalState):
+    left = _to_logic(_eval(node.left, state))
+    if left is True:
+        return True
+    right = _to_logic(_eval(node.right, state))
+    if right is True:
+        return True
+    for v in (left, right):
+        if is_error(v):
+            return v
+    if is_undefined(left) or is_undefined(right):
+        return UNDEFINED
+    return False
+
+
+def _to_logic(value):
+    """Map a value into the three-valued logic domain for &&/||.
+
+    Booleans pass through; undefined/error pass through; anything else is
+    a type error.  (Classic ClassAds do not truth-test numbers.)
+    """
+    if is_boolean(value) or is_undefined(value) or is_error(value):
+        return value
+    return ErrorValue("logical operator applied to non-boolean")
+
+
+def _arith(op: str, left, right):
+    l = coerce_to_number(left)
+    r = coerce_to_number(right)
+    if l is None or r is None:
+        return ErrorValue(f"{op} applied to non-numeric operand")
+    if op == "+":
+        return l + r
+    if op == "-":
+        return l - r
+    if op == "*":
+        return l * r
+    if op == "/":
+        if r == 0:
+            return ErrorValue("division by zero")
+        if isinstance(l, int) and isinstance(r, int):
+            # C-like truncation toward zero, matching classic ClassAds.
+            return int(l / r) if (l < 0) != (r < 0) else l // r
+        return l / r
+    if op == "%":
+        if not (isinstance(l, int) and isinstance(r, int)):
+            return ErrorValue("% requires integer operands")
+        if r == 0:
+            return ErrorValue("modulus by zero")
+        # C semantics: result takes the sign of the dividend.
+        return l - r * int(l / r)
+    return ErrorValue(f"unknown arithmetic operator {op}")
+
+
+_COMPARISONS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+def _compare(op: str, left, right):
+    fn = _COMPARISONS.get(op)
+    if fn is None:
+        return ErrorValue(f"unknown comparison operator {op}")
+    if is_string(left) and is_string(right):
+        # String comparison is case-insensitive in the classic language;
+        # case-sensitive identity is spelled `is`.
+        return fn(left.lower(), right.lower())
+    l = coerce_to_number(left)
+    r = coerce_to_number(right)
+    if l is not None and r is not None:
+        return fn(l, r)
+    return ErrorValue("comparison of incompatible types")
+
+
+# ---------------------------------------------------------------------------
+# conditionals and calls
+
+
+def _eval_conditional(node: Conditional, state: _EvalState):
+    cond = _eval(node.cond, state)
+    if cond is True:
+        return _eval(node.then, state)
+    if cond is False:
+        return _eval(node.otherwise, state)
+    if is_undefined(cond):
+        return UNDEFINED
+    if is_error(cond):
+        return cond
+    return ErrorValue("conditional guard is not boolean")
+
+
+def _eval_call(node: FunctionCall, state: _EvalState):
+    from .builtins import BUILTINS  # late import: builtins use the evaluator
+
+    name = node.canonical
+    # ifThenElse is the one lazily-evaluated builtin: only the selected
+    # branch is evaluated, mirroring `?:`.
+    if name == "ifthenelse":
+        if len(node.args) != 3:
+            return ErrorValue("ifThenElse expects 3 arguments")
+        return _eval_conditional(
+            Conditional(node.args[0], node.args[1], node.args[2]), state
+        )
+    fn = BUILTINS.get(name)
+    if fn is None:
+        return ErrorValue(f"unknown function {node.name!r}")
+    args = [_eval(arg, state) for arg in node.args]
+    return fn(args)

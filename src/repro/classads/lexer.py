@@ -1,0 +1,212 @@
+"""Tokenizer for the classad language.
+
+The surface syntax follows the paper's Figures 1 and 2: records are
+bracketed ``[ name = expr ; ... ]``, lists are braced ``{ e, e, ... }``,
+``//`` introduces a line comment (Figure 1 uses them), and the operator
+set is C-like plus the non-strict ``is`` / ``isnt`` comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .errors import LexerError
+
+# Token kinds.
+INT = "INT"
+REAL = "REAL"
+STRING = "STRING"
+IDENT = "IDENT"
+OP = "OP"
+EOF = "EOF"
+
+#: Multi-character operators, longest first so maximal munch is trivial.
+_MULTI_OPS = ("=?=", "=!=", "&&", "||", "<=", ">=", "==", "!=")
+_SINGLE_OPS = set("+-*/%()[]{},;=.?:<>!")
+
+#: Reserved words (case-insensitive).  ``is``/``isnt`` are operators with
+#: identifier spelling; ``=?=``/``=!=`` are their symbolic aliases.
+KEYWORDS = {"true", "false", "undefined", "error", "is", "isnt"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the decoded payload: int for INT, float for REAL, the
+    unescaped text for STRING, the original spelling for IDENT, and the
+    operator text for OP.
+    """
+
+    kind: str
+    value: object
+    position: int
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    '"': '"',
+    "\\": "\\",
+    "'": "'",
+}
+
+
+class Lexer:
+    """Streaming tokenizer over a source string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self.pos, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments (``// ...`` and ``/* ... */``)."""
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col, start_pos = self.line, self.column, self.pos
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.text):
+                        raise LexerError(
+                            "unterminated block comment", start_pos, start_line, start_col
+                        )
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _lex_string(self) -> Token:
+        start_pos, start_line, start_col = self.pos, self.line, self.column
+        self._advance()  # opening quote
+        chunks: List[str] = []
+        while True:
+            if self.pos >= len(self.text) or self._peek() == "\n":
+                raise LexerError(
+                    "unterminated string literal", start_pos, start_line, start_col
+                )
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                esc = self._peek(1)
+                if esc in _ESCAPES:
+                    chunks.append(_ESCAPES[esc])
+                    self._advance(2)
+                else:
+                    raise self._error(f"unknown escape sequence \\{esc!s}")
+            else:
+                chunks.append(ch)
+                self._advance()
+        return Token(STRING, "".join(chunks), start_pos, start_line, start_col)
+
+    def _lex_number(self) -> Token:
+        start_pos, start_line, start_col = self.pos, self.line, self.column
+        digits = []
+        is_real = False
+        while self._peek().isdigit():
+            digits.append(self._peek())
+            self._advance()
+        # A '.' is part of the number only if followed by a digit; this
+        # keeps `ad.Attr` selections unambiguous even after a literal.
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_real = True
+            digits.append(".")
+            self._advance()
+            while self._peek().isdigit():
+                digits.append(self._peek())
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_real = True
+            digits.append("e")
+            self._advance()
+            if self._peek() in "+-":
+                digits.append(self._peek())
+                self._advance()
+            while self._peek().isdigit():
+                digits.append(self._peek())
+                self._advance()
+        text = "".join(digits)
+        value: object = float(text) if is_real else int(text)
+        kind = REAL if is_real else INT
+        return Token(kind, value, start_pos, start_line, start_col)
+
+    def _lex_ident(self) -> Token:
+        start_pos, start_line, start_col = self.pos, self.line, self.column
+        chars = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._peek())
+            self._advance()
+        return Token(IDENT, "".join(chars), start_pos, start_line, start_col)
+
+    def next_token(self) -> Token:
+        """Return the next token, producing a final EOF token forever."""
+        self._skip_trivia()
+        if self.pos >= len(self.text):
+            return Token(EOF, None, self.pos, self.line, self.column)
+        ch = self._peek()
+        if ch == '"':
+            return self._lex_string()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident()
+        for op in _MULTI_OPS:
+            if self.text.startswith(op, self.pos):
+                tok = Token(OP, op, self.pos, self.line, self.column)
+                self._advance(len(op))
+                return tok
+        if ch in _SINGLE_OPS:
+            tok = Token(OP, ch, self.pos, self.line, self.column)
+            self._advance()
+            return tok
+        raise self._error(f"unexpected character {ch!r}")
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield all tokens including the trailing EOF."""
+        while True:
+            tok = self.next_token()
+            yield tok
+            if tok.kind == EOF:
+                return
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text* fully, returning a list ending with an EOF token."""
+    return list(Lexer(text).tokens())

@@ -1,0 +1,283 @@
+"""Recursive-descent parser for the classad language.
+
+Grammar (precedence from loosest to tightest binding)::
+
+    expr        := cond
+    cond        := or_expr [ '?' expr ':' expr ]          (right assoc)
+    or_expr     := and_expr { '||' and_expr }
+    and_expr    := eq_expr { '&&' eq_expr }
+    eq_expr     := rel_expr { ('==' | '!=' | 'is' | 'isnt'
+                               | '=?=' | '=!=') rel_expr }
+    rel_expr    := add_expr { ('<' | '<=' | '>' | '>=') add_expr }
+    add_expr    := mul_expr { ('+' | '-') mul_expr }
+    mul_expr    := unary { ('*' | '/' | '%') unary }
+    unary       := ('!' | '-' | '+') unary | postfix
+    postfix     := primary { '.' IDENT | '[' expr ']' }
+    primary     := INT | REAL | STRING | 'true' | 'false'
+                 | 'undefined' | 'error'
+                 | ('self' | 'other') '.' IDENT
+                 | IDENT '(' [ expr { ',' expr } ] ')'
+                 | IDENT
+                 | '(' expr ')'
+                 | '{' [ expr { ',' expr } ] '}'
+                 | record
+    record      := '[' [ IDENT '=' expr { ';' IDENT '=' expr } [';'] ] ']'
+
+``is``/``isnt`` carry the symbolic aliases ``=?=``/``=!=`` used by
+classic ClassAds; both spellings parse to the same AST node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import lexer as lx
+from .ast import (
+    AttributeRef,
+    BinaryOp,
+    Conditional,
+    Expr,
+    FunctionCall,
+    ListExpr,
+    Literal,
+    RecordExpr,
+    Select,
+    Subscript,
+    UnaryOp,
+)
+from .errors import ParseError
+from .values import ERROR, UNDEFINED
+
+_EQ_OPS = {"==": "==", "!=": "!=", "=?=": "is", "=!=": "isnt"}
+_REL_OPS = ("<", "<=", ">", ">=")
+
+
+class Parser:
+    """Single-pass recursive-descent parser over a token list."""
+
+    def __init__(self, text: str):
+        self.tokens: List[lx.Token] = lx.tokenize(text)
+        self.index = 0
+
+    # -- token stream helpers ------------------------------------------
+
+    @property
+    def current(self) -> lx.Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> lx.Token:
+        tok = self.current
+        if tok.kind != lx.EOF:
+            self.index += 1
+        return tok
+
+    def _at_op(self, *ops: str) -> bool:
+        tok = self.current
+        return tok.kind == lx.OP and tok.value in ops
+
+    def _accept_op(self, *ops: str) -> Optional[str]:
+        if self._at_op(*ops):
+            return self._advance().value  # type: ignore[return-value]
+        return None
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise ParseError(f"expected {op!r}, found {self.current.value!r}", self.current)
+
+    def _at_keyword(self, word: str) -> bool:
+        tok = self.current
+        return tok.kind == lx.IDENT and tok.value.lower() == word
+
+    def _expect_ident(self) -> str:
+        tok = self.current
+        if tok.kind != lx.IDENT:
+            raise ParseError(f"expected identifier, found {tok.value!r}", tok)
+        self._advance()
+        return tok.value
+
+    # -- grammar productions -------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        """Parse a complete expression; trailing input is an error."""
+        expr = self._cond()
+        if self.current.kind != lx.EOF:
+            raise ParseError(
+                f"unexpected trailing input {self.current.value!r}", self.current
+            )
+        return expr
+
+    def parse_record_body(self) -> RecordExpr:
+        """Parse a top-level record (with or without surrounding brackets)."""
+        if self._at_op("["):
+            record = self._record()
+        else:
+            record = self._record_fields(closing=None)
+        if self.current.kind != lx.EOF:
+            raise ParseError(
+                f"unexpected trailing input {self.current.value!r}", self.current
+            )
+        return record
+
+    def _cond(self) -> Expr:
+        cond = self._or()
+        if self._accept_op("?"):
+            then = self._cond()
+            self._expect_op(":")
+            otherwise = self._cond()
+            return Conditional(cond, then, otherwise)
+        return cond
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self._accept_op("||"):
+            left = BinaryOp("||", left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._eq()
+        while self._accept_op("&&"):
+            left = BinaryOp("&&", left, self._eq())
+        return left
+
+    def _eq(self) -> Expr:
+        left = self._rel()
+        while True:
+            sym = self._accept_op(*_EQ_OPS)
+            if sym is not None:
+                left = BinaryOp(_EQ_OPS[sym], left, self._rel())
+                continue
+            if self._at_keyword("is") or self._at_keyword("isnt"):
+                op = self._advance().value.lower()
+                left = BinaryOp(op, left, self._rel())
+                continue
+            return left
+
+    def _rel(self) -> Expr:
+        left = self._add()
+        while True:
+            sym = self._accept_op(*_REL_OPS)
+            if sym is None:
+                return left
+            left = BinaryOp(sym, left, self._add())
+
+    def _add(self) -> Expr:
+        left = self._mul()
+        while True:
+            sym = self._accept_op("+", "-")
+            if sym is None:
+                return left
+            left = BinaryOp(sym, left, self._mul())
+
+    def _mul(self) -> Expr:
+        left = self._unary()
+        while True:
+            sym = self._accept_op("*", "/", "%")
+            if sym is None:
+                return left
+            left = BinaryOp(sym, left, self._unary())
+
+    def _unary(self) -> Expr:
+        sym = self._accept_op("!", "-", "+")
+        if sym is not None:
+            return UnaryOp(sym, self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while True:
+            if self._accept_op("."):
+                expr = Select(expr, self._expect_ident())
+            elif self._accept_op("["):
+                index = self._cond()
+                self._expect_op("]")
+                expr = Subscript(expr, index)
+            else:
+                return expr
+
+    def _primary(self) -> Expr:
+        tok = self.current
+        if tok.kind == lx.INT or tok.kind == lx.REAL or tok.kind == lx.STRING:
+            self._advance()
+            return Literal(tok.value)
+        if tok.kind == lx.IDENT:
+            word = tok.value.lower()
+            if word == "true":
+                self._advance()
+                return Literal(True)
+            if word == "false":
+                self._advance()
+                return Literal(False)
+            if word == "undefined":
+                self._advance()
+                return Literal(UNDEFINED)
+            if word == "error":
+                self._advance()
+                return Literal(ERROR)
+            if word in ("self", "other", "my", "target"):
+                # `my`/`target` are the classic-ClassAd spellings of the
+                # paper's `self`/`other`; accept both.
+                scope = "self" if word in ("self", "my") else "other"
+                self._advance()
+                self._expect_op(".")
+                return AttributeRef(self._expect_ident(), scope)
+            self._advance()
+            if self._accept_op("("):
+                args = []
+                if not self._at_op(")"):
+                    args.append(self._cond())
+                    while self._accept_op(","):
+                        args.append(self._cond())
+                self._expect_op(")")
+                return FunctionCall(tok.value, args)
+            return AttributeRef(tok.value)
+        if self._accept_op("("):
+            expr = self._cond()
+            self._expect_op(")")
+            return expr
+        if self._accept_op("{"):
+            items = []
+            if not self._at_op("}"):
+                items.append(self._cond())
+                while self._accept_op(","):
+                    items.append(self._cond())
+            self._expect_op("}")
+            return ListExpr(items)
+        if self._at_op("["):
+            return self._record()
+        raise ParseError(f"unexpected token {tok.value!r}", tok)
+
+    def _record(self) -> RecordExpr:
+        self._expect_op("[")
+        return self._record_fields(closing="]")
+
+    def _record_fields(self, closing: Optional[str]) -> RecordExpr:
+        fields = []
+        seen = set()
+
+        def at_end() -> bool:
+            if closing is None:
+                return self.current.kind == lx.EOF
+            return self._at_op(closing)
+
+        while not at_end():
+            name = self._expect_ident()
+            if name.lower() in seen:
+                raise ParseError(f"duplicate attribute {name!r}", self.current)
+            seen.add(name.lower())
+            self._expect_op("=")
+            fields.append((name, self._cond()))
+            if not self._accept_op(";"):
+                break
+        if closing is not None:
+            self._expect_op(closing)
+        return RecordExpr(fields)
+
+
+def parse(text: str) -> Expr:
+    """Parse *text* as a single classad expression."""
+    return Parser(text).parse_expression()
+
+
+def parse_record(text: str) -> RecordExpr:
+    """Parse *text* as a record (``[...]`` brackets optional at top level)."""
+    return Parser(text).parse_record_body()

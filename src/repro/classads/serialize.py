@@ -1,0 +1,110 @@
+"""JSON serialization for classads.
+
+The paper's agents ship ads over the wire; this module provides the
+stable interchange format a modern deployment would use (HTCondor grew
+an equivalent JSON form decades later).  The mapping is:
+
+=====================  ==========================================
+classad construct      JSON encoding
+=====================  ==========================================
+Integer/Real/String    native number / string
+Boolean                native true/false
+undefined              ``{"$undefined": true}``
+error                  ``{"$error": "<reason>"}``
+List                   array
+nested ClassAd         object (attribute order preserved)
+any other expression   ``{"$expr": "<classad source text>"}``
+=====================  ==========================================
+
+Round trip: ``from_json_obj(to_json_obj(ad)) == ad`` for every ad
+(hypothesis-tested), because non-literal expressions ride through the
+unparser, which is itself round-trip safe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .ast import Expr, ListExpr, Literal, RecordExpr
+from .classad import ClassAd
+from .errors import ClassAdException
+from .parser import parse
+from .unparse import unparse
+from .values import ERROR, UNDEFINED, ErrorValue, UndefinedType
+
+
+class SerializationError(ClassAdException):
+    """Raised for JSON that does not encode a classad."""
+
+
+def _expr_to_json(expr: Expr) -> Any:
+    if isinstance(expr, Literal):
+        value = expr.value
+        if isinstance(value, UndefinedType):
+            return {"$undefined": True}
+        if isinstance(value, ErrorValue):
+            return {"$error": value.reason}
+        if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+            return {"$expr": unparse(expr)}
+        return value
+    if isinstance(expr, ListExpr):
+        return [_expr_to_json(item) for item in expr.items]
+    if isinstance(expr, RecordExpr):
+        return {name: _expr_to_json(sub) for name, sub in expr.fields}
+    return {"$expr": unparse(expr)}
+
+
+def _expr_from_json(obj: Any) -> Expr:
+    if isinstance(obj, bool) or isinstance(obj, (int, float, str)):
+        return Literal(obj)
+    if obj is None:
+        return Literal(UNDEFINED)
+    if isinstance(obj, list):
+        return ListExpr([_expr_from_json(item) for item in obj])
+    if isinstance(obj, dict):
+        if "$undefined" in obj:
+            return Literal(UNDEFINED)
+        if "$error" in obj:
+            reason = obj["$error"]
+            return Literal(ErrorValue(reason) if isinstance(reason, str) else ERROR)
+        if "$expr" in obj:
+            source = obj["$expr"]
+            if not isinstance(source, str):
+                raise SerializationError("$expr payload must be a string")
+            return parse(source)
+        return RecordExpr(
+            [(name, _expr_from_json(value)) for name, value in obj.items()]
+        )
+    raise SerializationError(f"cannot decode {type(obj).__name__} as a classad value")
+
+
+def to_json_obj(ad: ClassAd) -> dict:
+    """Encode *ad* as a JSON-compatible dict (attribute order preserved)."""
+    return {name: _expr_to_json(expr) for name, expr in ad.items()}
+
+
+def from_json_obj(obj: dict) -> ClassAd:
+    """Decode a dict produced by :func:`to_json_obj` back into an ad."""
+    if not isinstance(obj, dict):
+        raise SerializationError("top-level classad JSON must be an object")
+    ad = ClassAd()
+    for name, value in obj.items():
+        if not isinstance(name, str):
+            raise SerializationError("attribute names must be strings")
+        ad[name] = _expr_from_json(value)
+    return ad
+
+
+def dumps(ad: ClassAd, indent: int = None) -> str:
+    """Serialize *ad* to a JSON string."""
+    return json.dumps(to_json_obj(ad), indent=indent)
+
+
+def loads(text: str) -> ClassAd:
+    """Deserialize a JSON string into a ClassAd."""
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return from_json_obj(obj)

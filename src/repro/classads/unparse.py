@@ -1,0 +1,167 @@
+"""Unparser: render expressions and ads back to classad source text.
+
+The output is round-trippable: for any expression ``e`` built from
+identifier-named attributes, ``parse(unparse(e)) == e`` structurally
+(a hypothesis property test enforces this).  Parentheses are emitted
+only where precedence requires them, so Figure 1/2-style ads come back
+out looking like the paper's listings.
+
+Caveat: attribute names are emitted verbatim, so names that are not
+identifiers (or that collide with reserved words) will not re-parse;
+the agents and generators in this repository only ever use identifier
+names, matching the grammar.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    AttributeRef,
+    BinaryOp,
+    Conditional,
+    Expr,
+    FunctionCall,
+    ListExpr,
+    Literal,
+    RecordExpr,
+    Select,
+    Subscript,
+    UnaryOp,
+)
+from .values import ErrorValue, UndefinedType
+
+# Precedence levels, mirroring the parser's grammar ladder.
+_PREC_COND = 1
+_PREC_OR = 2
+_PREC_AND = 3
+_PREC_EQ = 4
+_PREC_REL = 5
+_PREC_ADD = 6
+_PREC_MUL = 7
+_PREC_UNARY = 8
+_PREC_POSTFIX = 9
+_PREC_ATOM = 10
+
+_BINARY_PREC = {
+    "||": _PREC_OR,
+    "&&": _PREC_AND,
+    "==": _PREC_EQ,
+    "!=": _PREC_EQ,
+    "is": _PREC_EQ,
+    "isnt": _PREC_EQ,
+    "<": _PREC_REL,
+    "<=": _PREC_REL,
+    ">": _PREC_REL,
+    ">=": _PREC_REL,
+    "+": _PREC_ADD,
+    "-": _PREC_ADD,
+    "*": _PREC_MUL,
+    "/": _PREC_MUL,
+    "%": _PREC_MUL,
+}
+
+_STRING_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\t": "\\t",
+    "\r": "\\r",
+    "\b": "\\b",
+    "\f": "\\f",
+}
+
+
+def _escape_string(text: str) -> str:
+    return '"' + "".join(_STRING_ESCAPES.get(ch, ch) for ch in text) + '"'
+
+
+def _format_real(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        # No literal syntax for non-finite reals; emit a conversion that
+        # evaluates to the same value.
+        return f'real("{value!r}")'
+    text = repr(value)
+    # Negative reals only arise from host-constructed literals (the parser
+    # builds UnaryOp('-')); parenthesize so they re-parse as atoms.
+    return f"({text})" if value < 0 else text
+
+
+def unparse(expr: Expr, min_prec: int = 0) -> str:
+    """Render *expr* as source text, parenthesizing below *min_prec*."""
+    text, prec = _render(expr)
+    if prec < min_prec:
+        return f"({text})"
+    return text
+
+
+def _render(expr: Expr):
+    kind = type(expr)
+    if kind is Literal:
+        return _render_literal(expr), _PREC_ATOM
+    if kind is AttributeRef:
+        prefix = f"{expr.scope}." if expr.scope else ""
+        return f"{prefix}{expr.name}", _PREC_ATOM
+    if kind is UnaryOp:
+        inner = unparse(expr.operand, _PREC_UNARY)
+        return f"{expr.op}{inner}", _PREC_UNARY
+    if kind is BinaryOp:
+        prec = _BINARY_PREC[expr.op]
+        # Left-associative: the left child may sit at the same level, the
+        # right child must bind tighter.
+        left = unparse(expr.left, prec)
+        right = unparse(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if kind is Conditional:
+        cond = unparse(expr.cond, _PREC_COND + 1)
+        then = unparse(expr.then, _PREC_COND)
+        other = unparse(expr.otherwise, _PREC_COND)
+        return f"{cond} ? {then} : {other}", _PREC_COND
+    if kind is ListExpr:
+        items = ", ".join(unparse(item) for item in expr.items)
+        return "{ " + items + " }" if items else "{ }", _PREC_ATOM
+    if kind is RecordExpr:
+        fields = "; ".join(f"{name} = {unparse(value)}" for name, value in expr.fields)
+        return "[ " + fields + " ]" if fields else "[ ]", _PREC_ATOM
+    if kind is Select:
+        base = unparse(expr.base, _PREC_POSTFIX)
+        return f"{base}.{expr.attr}", _PREC_POSTFIX
+    if kind is Subscript:
+        base = unparse(expr.base, _PREC_POSTFIX)
+        return f"{base}[{unparse(expr.index)}]", _PREC_POSTFIX
+    if kind is FunctionCall:
+        args = ", ".join(unparse(arg) for arg in expr.args)
+        return f"{expr.name}({args})", _PREC_ATOM
+    raise TypeError(f"cannot unparse {kind.__name__}")
+
+
+def _render_literal(node: Literal) -> str:
+    value = node.value
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, UndefinedType):
+        return "undefined"
+    if isinstance(value, ErrorValue):
+        return "error"
+    if isinstance(value, str):
+        return _escape_string(value)
+    if isinstance(value, float):
+        return _format_real(value)
+    if isinstance(value, int):
+        # Negative literals only arise from host-constructed ads (the
+        # parser builds UnaryOp('-')); parenthesize so `x - -3` style
+        # output still re-parses as unary minus applied to an atom.
+        return f"(-{-value})" if value < 0 else str(value)
+    raise TypeError(f"cannot render literal {value!r}")
+
+
+def unparse_classad(ad, indent: int = 2) -> str:
+    """Pretty-print a ClassAd in the paper's multi-line figure style."""
+    pad = " " * indent
+    lines: List[str] = ["["]
+    for name, expr in ad.items():
+        lines.append(f"{pad}{name} = {unparse(expr)};")
+    lines.append("]")
+    return "\n".join(lines)

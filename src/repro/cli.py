@@ -1,0 +1,293 @@
+"""Command-line interface to the matchmaking library.
+
+The paper's deployment shipped user tools (Section 4); this CLI exposes
+their modern equivalents over ad files:
+
+* ``repro eval EXPR [--ad FILE] [--other FILE]`` — evaluate a classad
+  expression, optionally inside a match environment;
+* ``repro match CUSTOMER PROVIDER`` — bilateral match verdict + ranks;
+* ``repro best CUSTOMER POOL`` — pick the best provider from a pool;
+* ``repro status POOL [--constraint EXPR]`` — the condor_status view;
+* ``repro q POOL [--owner NAME]`` — the condor_q view;
+* ``repro diagnose JOB POOL`` — why-won't-my-job-match analysis;
+* ``repro convert FILE --to {json,classad}`` — format conversion.
+
+Ad files may be classad source (``[...]``; file extension ``.ad`` or
+anything non-JSON) or JSON (``.json`` or content starting with ``{``).
+Pool files hold multiple ads: JSON arrays, JSON-lines, or concatenated
+``[...]`` blocks.
+
+Run ``python -m repro --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .classads import ClassAd, evaluate, is_true, parse, unparse_classad
+from .classads.serialize import SerializationError, dumps, from_json_obj
+from .matchmaking import (
+    best_match,
+    constraints_satisfied,
+    diagnose,
+    evaluate_rank,
+)
+
+
+class CliError(Exception):
+    """User-facing CLI failure (bad file, bad arguments)."""
+
+
+# ---------------------------------------------------------------------------
+# ad file loading
+
+
+def _looks_like_json(text: str) -> bool:
+    stripped = text.lstrip()
+    return stripped.startswith("{") or stripped.startswith("[{") or stripped.startswith('[\n{')
+
+
+def load_ad(path: str) -> ClassAd:
+    """Load a single ad from a classad-source or JSON file."""
+    text = _read(path)
+    if _looks_like_json(text):
+        try:
+            return from_json_obj(json.loads(text))
+        except (SerializationError, json.JSONDecodeError) as exc:
+            raise CliError(f"{path}: {exc}") from exc
+    try:
+        return ClassAd.parse(text)
+    except Exception as exc:
+        raise CliError(f"{path}: {exc}") from exc
+
+
+def load_pool(path: str) -> List[ClassAd]:
+    """Load many ads: JSON array, JSON lines, or concatenated [..] blocks."""
+    text = _read(path)
+    stripped = text.strip()
+    if not stripped:
+        return []
+    if stripped.startswith("["):
+        # Could be a JSON array of objects or a classad block; peek deeper.
+        try:
+            data = json.loads(stripped)
+        except json.JSONDecodeError:
+            return _parse_classad_blocks(stripped, path)
+        if isinstance(data, list):
+            return [from_json_obj(item) for item in data]
+        raise CliError(f"{path}: JSON pool file must be an array of objects")
+    if stripped.startswith("{"):
+        # JSON lines: one object per line.
+        ads = []
+        for line_number, line in enumerate(stripped.splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ads.append(from_json_obj(json.loads(line)))
+            except (SerializationError, json.JSONDecodeError) as exc:
+                raise CliError(f"{path}:{line_number}: {exc}") from exc
+        return ads
+    raise CliError(f"{path}: unrecognized pool file format")
+
+
+def _parse_classad_blocks(text: str, path: str) -> List[ClassAd]:
+    """Split concatenated ``[ ... ]`` blocks by bracket balance."""
+    ads = []
+    depth = 0
+    start: Optional[int] = None
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+        elif ch == "[":
+            if depth == 0:
+                start = i
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth == 0 and start is not None:
+                try:
+                    ads.append(ClassAd.parse(text[start : i + 1]))
+                except Exception as exc:
+                    raise CliError(f"{path}: {exc}") from exc
+                start = None
+        i += 1
+    if depth != 0:
+        raise CliError(f"{path}: unbalanced brackets in classad pool file")
+    return ads
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        raise CliError(str(exc)) from exc
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+
+
+def cmd_eval(args) -> int:
+    self_ad = load_ad(args.ad) if args.ad else None
+    other_ad = load_ad(args.other) if args.other else None
+    try:
+        expr = parse(args.expression)
+    except Exception as exc:
+        raise CliError(f"bad expression: {exc}") from exc
+    result = evaluate(expr, self_ad, other=other_ad)
+    print(_format_value(result))
+    return 0
+
+
+def _format_value(value) -> str:
+    from .classads import unparse
+    from .classads.classad import _value_to_expr
+
+    try:
+        return unparse(_value_to_expr(value))
+    except TypeError:
+        return repr(value)
+
+
+def cmd_match(args) -> int:
+    customer = load_ad(args.customer)
+    provider = load_ad(args.provider)
+    matched = constraints_satisfied(customer, provider)
+    print(f"match: {'yes' if matched else 'no'}")
+    print(f"customer accepts provider: {is_true(_side(customer, provider))}")
+    print(f"provider accepts customer: {is_true(_side(provider, customer))}")
+    print(f"customer Rank of provider: {evaluate_rank(customer, provider):g}")
+    print(f"provider Rank of customer: {evaluate_rank(provider, customer):g}")
+    return 0 if matched else 1
+
+
+def _side(ad, other):
+    from .matchmaking.match import DEFAULT_POLICY
+
+    name = DEFAULT_POLICY.constraint_of(ad)
+    return True if name is None else ad.evaluate(name, other=other)
+
+
+def cmd_best(args) -> int:
+    customer = load_ad(args.customer)
+    pool = load_pool(args.pool)
+    match = best_match(customer, pool)
+    if match is None:
+        print("no compatible provider in the pool")
+        return 1
+    name = match.provider.evaluate("Name")
+    print(f"best provider: {name if isinstance(name, str) else '<unnamed>'}")
+    print(f"customer rank: {match.customer_rank:g}")
+    print(f"provider rank: {match.provider_rank:g}")
+    return 0
+
+
+def cmd_status(args) -> int:
+    from .condor.status import machine_status
+
+    print(machine_status(load_pool(args.pool), constraint=args.constraint))
+    return 0
+
+
+def cmd_q(args) -> int:
+    from .condor.status import queue_status
+
+    print(queue_status(load_pool(args.pool), owner=args.owner))
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    job = load_ad(args.job)
+    pool = load_pool(args.pool)
+    report = diagnose(job, pool)
+    print(report.render())
+    return 0 if not report.never_matches else 1
+
+
+def cmd_convert(args) -> int:
+    ad = load_ad(args.file)
+    if args.to == "json":
+        print(dumps(ad, indent=2))
+    else:
+        print(unparse_classad(ad))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# entry point
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ClassAd matchmaking tools (Raman/Livny/Solomon, HPDC'98)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("eval", help="evaluate a classad expression")
+    p.add_argument("expression")
+    p.add_argument("--ad", help="file providing the `self` ad")
+    p.add_argument("--other", help="file providing the `other` ad")
+    p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser("match", help="bilateral match of two ads")
+    p.add_argument("customer")
+    p.add_argument("provider")
+    p.set_defaults(func=cmd_match)
+
+    p = sub.add_parser("best", help="best provider for a customer ad")
+    p.add_argument("customer")
+    p.add_argument("pool")
+    p.set_defaults(func=cmd_best)
+
+    p = sub.add_parser("status", help="condor_status view of a pool file")
+    p.add_argument("pool")
+    p.add_argument("--constraint", help="one-way filter expression")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("q", help="condor_q view of a pool file")
+    p.add_argument("pool")
+    p.add_argument("--owner", help="filter to one submitter")
+    p.set_defaults(func=cmd_q)
+
+    p = sub.add_parser("diagnose", help="why won't this job match?")
+    p.add_argument("job")
+    p.add_argument("pool")
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("convert", help="convert an ad between formats")
+    p.add_argument("file")
+    p.add_argument("--to", choices=("json", "classad"), required=True)
+    p.set_defaults(func=cmd_convert)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The Condor-style pool — S14–S17 in DESIGN.md (paper Section 4).
+
+Agents: :class:`MachineAgent` (resource-owner agent / startd),
+:class:`CustomerAgent` (customer agent / schedd), :class:`Collector` and
+:class:`Negotiator` (the pool manager).  :class:`CondorPool` wires a
+whole pool onto one simulator; :mod:`repro.condor.workload` synthesizes
+machines, owners and job streams.
+"""
+
+from .collector import Collector
+from .flocking import Flock
+from .jobs import REFERENCE_MIPS, Job, execution_time
+from .machine import (
+    DEFAULT_MACHINE_CONSTRAINT,
+    MachineAgent,
+    MachineSpec,
+    OwnerModel,
+)
+from .messages import JobCompleted, JobEvicted
+from .negotiator import Negotiator
+from .pool import CondorPool, PoolConfig
+from .schedd import CustomerAgent
+from .states import Activity, JobState, MachineState, check_machine_transition
+from .workload import (
+    DEFAULT_PLATFORMS,
+    FIGURE1_POLICY_CONSTRAINT,
+    FIGURE1_POLICY_RANK,
+    JobProfile,
+    NeverPresentOwner,
+    OfficeHoursOwner,
+    PoissonOwner,
+    PoolProfile,
+    generate_jobs,
+    generate_policy_pool,
+    generate_pool,
+    poisson_arrival_times,
+)
+
+__all__ = [
+    "Activity",
+    "Collector",
+    "Flock",
+    "CondorPool",
+    "CustomerAgent",
+    "DEFAULT_MACHINE_CONSTRAINT",
+    "DEFAULT_PLATFORMS",
+    "Job",
+    "JobCompleted",
+    "JobEvicted",
+    "JobProfile",
+    "JobState",
+    "MachineAgent",
+    "MachineSpec",
+    "MachineState",
+    "NeverPresentOwner",
+    "Negotiator",
+    "OfficeHoursOwner",
+    "OwnerModel",
+    "PoissonOwner",
+    "PoolConfig",
+    "PoolProfile",
+    "REFERENCE_MIPS",
+    "check_machine_transition",
+    "execution_time",
+    "FIGURE1_POLICY_CONSTRAINT",
+    "FIGURE1_POLICY_RANK",
+    "generate_jobs",
+    "generate_policy_pool",
+    "generate_pool",
+    "poisson_arrival_times",
+]

@@ -1,0 +1,133 @@
+"""The collector half of the central manager — S16 in DESIGN.md.
+
+Section 4: "RAs and CAs periodically send classads to a Condor pool
+manager, describing the resources and job queues respectively."
+
+The collector is the pool manager's ad store: it admits advertisements
+that conform to the advertising protocol, expires stale ones, and
+answers the negotiator's (and status tools') queries.  It holds *only
+soft state*: crashing it loses nothing that the next round of periodic
+advertisements does not rebuild — experiment E1's claim.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..classads import ClassAd
+from ..matchmaking import select
+from ..protocols import AdStore, Advertisement, Withdrawal, validate_ad
+from ..sim import Network, Simulator, Trace
+
+
+class Collector:
+    """The pool's advertisement store, listening on the network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        trace: Optional[Trace] = None,
+        address: str = "collector@cm",
+        expire_interval: float = 60.0,
+    ):
+        self.sim = sim
+        self.net = net
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.address = address
+        self.store = AdStore()
+        self.ads_rejected = 0
+        self.ads_admitted = 0
+        net.register(self.address, self._on_message)
+        sim.every(expire_interval, self._expire)
+
+    # -- message handling ------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        if isinstance(message, Advertisement):
+            self._on_advertisement(message)
+        elif isinstance(message, Withdrawal):
+            self.store.remove(message.name)
+
+    def _on_advertisement(self, message: Advertisement) -> None:
+        result = validate_ad(message.ad)
+        if not result.ok:
+            self.ads_rejected += 1
+            self.trace.emit(
+                self.sim.now,
+                "ad-rejected",
+                name=message.name,
+                problems="; ".join(result.problems),
+            )
+            return
+        if self.store.insert(
+            message.name,
+            message.ad,
+            now=self.sim.now,
+            lifetime=message.lifetime,
+            sequence=message.sequence,
+        ):
+            self.ads_admitted += 1
+
+    def _expire(self) -> None:
+        for name in self.store.expire(self.sim.now):
+            self.trace.emit(self.sim.now, "ad-expired", name=name)
+
+    # -- queries ----------------------------------------------------------
+
+    def machine_ads(self) -> List[ClassAd]:
+        return select(self.store.ads(), 'Type == "Machine"')
+
+    def job_ads(self) -> List[ClassAd]:
+        return select(self.store.ads(), 'Type == "Job"')
+
+    def job_ads_by_owner(self) -> Dict[str, List[ClassAd]]:
+        """Idle request ads grouped per submitter, queue order preserved."""
+        grouped: Dict[str, List[ClassAd]] = defaultdict(list)
+        for ad in self.job_ads():
+            owner = ad.evaluate("Owner")
+            if isinstance(owner, str):
+                grouped[owner].append(ad)
+        for ads in grouped.values():
+            ads.sort(key=_job_order_key)
+        return dict(grouped)
+
+    def query(self, constraint: str) -> List[ClassAd]:
+        """One-way matching over everything stored (status tools)."""
+        return select(self.store.ads(), constraint)
+
+    def snapshot(self) -> str:
+        """The current ad store as JSON lines (one ad per line) —
+        feed it to the CLI's status/q/diagnose commands."""
+        from ..classads.serialize import dumps
+
+        return "\n".join(dumps(ad) for ad in self.store.ads())
+
+    # -- failure injection ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all soft state and stop receiving (experiment E1)."""
+        self.net.set_down(self.address)
+        self.store.clear()
+        self.trace.emit(self.sim.now, "collector-crash")
+
+    def recover(self) -> None:
+        self.net.set_down(self.address, down=False)
+        self.trace.emit(self.sim.now, "collector-recover")
+
+
+def _job_order_key(ad: ClassAd):
+    """Queue order: user priority first (higher = earlier), then FCFS.
+
+    JobPrio only reorders one submitter's own queue — fair share across
+    submitters is the negotiator's business, not the user's.
+    """
+    prio = ad.evaluate("JobPrio")
+    qdate = ad.evaluate("QDate")
+    job_id = ad.evaluate("JobId")
+    return (
+        -(prio if isinstance(prio, (int, float)) and not isinstance(prio, bool) else 0),
+        qdate if isinstance(qdate, (int, float)) else 0,
+        job_id if isinstance(job_id, int) else 0,
+    )

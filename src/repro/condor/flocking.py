@@ -1,0 +1,112 @@
+"""Flocking: load sharing across pools — the paper's reference [3].
+
+"A Worldwide Flock of Condors: Load Sharing among Workstation Clusters"
+(Epema, Livny, van Dantzig, Evers, Pruyne) is cited in Section 1's
+framing of Condor as managing "very large heterogeneous collections of
+distributively owned resources".  Flocking is the matchmaking framework
+at inter-pool scale, and it needs *no new mechanism*: a customer agent
+simply advertises its starving jobs to a remote pool's collector too.
+The remote negotiator matches them like any local request, the claim
+handshake runs directly CA↔RA across pool boundaries, and the remote
+machines' own policies keep applying — exactly the evolvability story of
+Section 3.2 (the matchmaker "does not depend on the kinds of services
+and resources that are being matched").
+
+:class:`Flock` wires several :class:`~repro.condor.pool.CondorPool`
+instances onto one simulator/network; each pool keeps its own central
+manager, accountant, and metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim import Network, RngStream, Simulator, Trace
+from .jobs import Job
+from .machine import MachineSpec, OwnerModel
+from .pool import CondorPool, PoolConfig
+
+
+class Flock:
+    """Several autonomous pools sharing one simulated internet."""
+
+    def __init__(
+        self,
+        pool_specs: Dict[str, Sequence[MachineSpec]],
+        config: Optional[PoolConfig] = None,
+        owner_models: Optional[Dict[str, Dict[str, OwnerModel]]] = None,
+        flock_threshold: float = 600.0,
+    ):
+        if not pool_specs:
+            raise ValueError("a flock needs at least one pool")
+        self.config = config or PoolConfig()
+        self.sim = Simulator()
+        self.rng = RngStream(self.config.seed)
+        self.trace = Trace(enabled=self.config.trace_enabled)
+        self.net = Network(
+            self.sim,
+            rng=self.rng,
+            latency=self.config.network_latency,
+            jitter=self.config.network_jitter,
+            loss=self.config.network_loss,
+        )
+        owner_models = owner_models or {}
+        names = list(pool_specs)
+        self.pools: Dict[str, CondorPool] = {}
+        for name in names:
+            remote_collectors = [
+                f"collector@{other}" for other in names if other != name
+            ]
+            pool = CondorPool(
+                pool_specs[name],
+                config=self.config,
+                owner_models=owner_models.get(name),
+                sim=self.sim,
+                net=self.net,
+                rng=self.rng.fork(f"pool/{name}"),
+                trace=self.trace,
+                cm_name=name,
+                flock_collectors=remote_collectors,
+            )
+            self.pools[name] = pool
+            for schedd in pool.schedds.values():  # pragma: no cover - none yet
+                schedd.flock_threshold = flock_threshold
+        self.flock_threshold = flock_threshold
+
+    def submit(self, pool_name: str, job: Job, at: Optional[float] = None) -> None:
+        """Submit *job* through its home pool's customer agent."""
+        pool = self.pools[pool_name]
+        schedd = pool.schedd_for(job.owner)
+        schedd.flock_threshold = self.flock_threshold
+        pool.submit(job, at=at)
+
+    def start(self) -> None:
+        for pool in self.pools.values():
+            pool.start()
+
+    def run_until(self, time: float) -> None:
+        self.start()
+        self.sim.run_until(time)
+
+    def run_until_quiescent(
+        self, check_interval: float = 300.0, max_time: float = 1e7
+    ) -> float:
+        self.start()
+        while self.sim.now < max_time:
+            self.sim.run_until(self.sim.now + check_interval)
+            if all(
+                pool._pending_submissions == 0
+                and all(s.unfinished() == 0 for s in pool.schedds.values())
+                for pool in self.pools.values()
+            ):
+                return self.sim.now
+        return self.sim.now
+
+    def jobs(self) -> List[Job]:
+        out: List[Job] = []
+        for pool in self.pools.values():
+            out.extend(pool.jobs())
+        return out
+
+    def completed(self) -> int:
+        return sum(1 for job in self.jobs() if job.done)

@@ -1,0 +1,115 @@
+"""Jobs and their classads — part of S15/S17 in DESIGN.md.
+
+A job is work measured in CPU-seconds at a 100-Mips reference machine
+(so a 200-Mips machine finishes it in half the wall time).  Its request
+classad follows Figure 2's shape: ``Type``, ``Owner``, ``QDate``,
+``Memory``, a ``Constraint`` over machine attributes, and a ``Rank``
+preferring faster machines.
+
+``WantCheckpoint`` drives experiment E5: evicted checkpointing jobs keep
+the work they completed (Condor's transparent checkpointing); others
+restart from scratch and the lost work is badput.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..classads import ClassAd
+from .states import JobState
+
+_job_ids = itertools.count(1)
+
+#: Reference speed against which job work is expressed.
+REFERENCE_MIPS = 100.0
+
+DEFAULT_JOB_CONSTRAINT = (
+    'other.Type == "Machine" && Arch == self.ReqArch && OpSys == self.ReqOpSys '
+    "&& other.Memory >= self.Memory"
+)
+DEFAULT_JOB_RANK = "other.KFlops / 1E3 + other.Memory / 32"
+
+
+@dataclass
+class Job:
+    """One submitted job and its full lifecycle bookkeeping."""
+
+    owner: str
+    total_work: float  # CPU-seconds at REFERENCE_MIPS
+    memory: int = 31
+    req_arch: str = "INTEL"
+    req_opsys: str = "SOLARIS251"
+    want_checkpoint: bool = True
+    #: User-assigned queue priority (Condor's JobPrio): higher runs
+    #: first *within this submitter's own queue*; it never trumps
+    #: another submitter's fair share.
+    priority: int = 0
+    cmd: str = "run_sim"
+    constraint: str = DEFAULT_JOB_CONSTRAINT
+    rank: str = DEFAULT_JOB_RANK
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    # lifecycle (owned by the customer agent)
+    state: JobState = JobState.IDLE
+    submit_time: float = 0.0
+    completion_time: Optional[float] = None
+    first_start_time: Optional[float] = None
+    completed_work: float = 0.0  # checkpointed progress
+    restarts: int = 0
+    evictions: int = 0
+    matches: int = 0
+    claim_rejections: int = 0
+    running_on: Optional[str] = None
+    running_match_id: Optional[int] = None
+
+    @property
+    def remaining_work(self) -> float:
+        return max(0.0, self.total_work - self.completed_work)
+
+    @property
+    def done(self) -> bool:
+        return self.state is JobState.COMPLETED
+
+    def wait_time(self) -> Optional[float]:
+        """Queue wait before first execution, if it ever started."""
+        if self.first_start_time is None:
+            return None
+        return self.first_start_time - self.submit_time
+
+    def turnaround(self) -> Optional[float]:
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.submit_time
+
+    def to_classad(self, contact_address: str, now: float) -> ClassAd:
+        """The request classad advertised to the matchmaker."""
+        ad = ClassAd(
+            {
+                "Type": "Job",
+                "JobId": self.job_id,
+                "Owner": self.owner,
+                "Cmd": self.cmd,
+                "QDate": int(self.submit_time),
+                "SubmittedAt": self.submit_time,
+                "Memory": self.memory,
+                "ReqArch": self.req_arch,
+                "ReqOpSys": self.req_opsys,
+                "WantCheckpoint": 1 if self.want_checkpoint else 0,
+                "JobPrio": self.priority,
+                "RemainingWork": self.remaining_work,
+                "ContactAddress": contact_address,
+                "AdvertisedAt": now,
+            }
+        )
+        ad.set_expr("Constraint", self.constraint)
+        ad.set_expr("Rank", self.rank)
+        return ad
+
+
+def execution_time(job: Job, mips: float) -> float:
+    """Wall-clock seconds for *job*'s remaining work on a *mips* machine."""
+    if mips <= 0:
+        raise ValueError("machine speed must be positive")
+    return job.remaining_work * REFERENCE_MIPS / mips

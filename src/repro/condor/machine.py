@@ -1,0 +1,527 @@
+"""The Resource-owner Agent (RA / startd) — S14 in DESIGN.md.
+
+Section 4: "Resources in the Condor system are represented by
+Resource-owner Agents (RAs), which are responsible for enforcing the
+policies stipulated by resource owners.  An RA periodically probes the
+resource to determine its current state, and encapsulates this
+information in a classad along with the owner's usage policy."
+
+Behaviour implemented here:
+
+* periodic advertisement of a Figure-1-shaped classad, plus an immediate
+  ad on every state change (Condor's behaviour; bounds staleness);
+* owner arrival/departure dynamics driven by a pluggable activity model
+  (keyboard idle time and load average follow the owner);
+* an authorization ticket embedded in each ad, validated at claim time;
+* claim verification exactly per the paper: ticket first, then both
+  constraints against *current* state;
+* eviction on owner return, and Rank-based preemption: a claimed RA
+  still accepts claims from customers it ranks *strictly above* the
+  current one ("it is still interested in hearing from higher priority
+  customers ... completely under the control of the RA");
+* job execution: wall time scales with the machine's Mips rating, and
+  evicted jobs keep their progress only if they checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..classads import ClassAd, rank_value
+from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy, constraints_satisfied
+from ..protocols import (
+    Advertisement,
+    ClaimRequest,
+    ClaimResponse,
+    MatchNotification,
+    ReleaseNotice,
+    TicketAuthority,
+    embed_ticket,
+    verify_claim,
+)
+from ..protocols.claiming import ClaimVerdict
+from ..sim import Network, Simulator, Trace
+from .jobs import REFERENCE_MIPS
+from .messages import JobCompleted, JobEvicted, KeepAlive, NoticeAck
+from .states import Activity, MachineState, check_machine_transition
+
+#: Default owner policy: accept anyone whenever the machine is not in
+#: Owner state (the state machine handles owner presence; pools built
+#: from Figure-1-style policies pass their own constraint).
+DEFAULT_MACHINE_CONSTRAINT = 'other.Type == "Job"'
+DEFAULT_MACHINE_RANK = "0"
+
+
+@dataclass
+class MachineSpec:
+    """Static description of one workstation."""
+
+    name: str
+    arch: str = "INTEL"
+    opsys: str = "SOLARIS251"
+    memory: int = 64
+    disk: int = 300_000
+    mips: float = 100.0
+    kflops: float = 20_000.0
+    constraint: str = DEFAULT_MACHINE_CONSTRAINT
+    rank: str = DEFAULT_MACHINE_RANK
+    extra_attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class OwnerModel:
+    """Owner presence model: when does the owner (de)occupy the machine?
+
+    ``first_event`` returns (initially_active, seconds-until-change);
+    afterwards the agent alternates, asking :meth:`active_duration` /
+    :meth:`idle_duration` for each phase.  The default owner never shows
+    up (a dedicated compute node).
+    """
+
+    def first_event(self, rng):
+        return False, float("inf")
+
+    def active_duration(self, rng) -> float:  # pragma: no cover - abstract-ish
+        return 0.0
+
+    def idle_duration(self, rng) -> float:  # pragma: no cover
+        return float("inf")
+
+
+@dataclass
+class _Claim:
+    """The RA's record of its current working relationship."""
+
+    match_id: int
+    customer_address: str
+    job_ad: ClassAd
+    job_id: int
+    rank: float
+    started_at: float
+    wants_checkpoint: bool
+    completion_handle: object = None
+    last_alive: float = 0.0
+
+
+class MachineAgent:
+    """One simulated workstation and its resource-owner agent."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        spec: MachineSpec,
+        collector_address: str,
+        trace: Optional[Trace] = None,
+        rng=None,
+        owner_model: Optional[OwnerModel] = None,
+        advertise_interval: float = 300.0,
+        ad_lifetime: Optional[float] = None,
+        policy: MatchPolicy = DEFAULT_POLICY,
+        advertise_on_state_change: bool = True,
+        on_claim_started: Optional[Callable[[str, str], None]] = None,
+        on_claim_ended: Optional[Callable[[str, str], None]] = None,
+    ):
+        self.sim = sim
+        self.net = net
+        self.spec = spec
+        self.collector_address = collector_address
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.rng = rng
+        self.owner_model = owner_model or OwnerModel()
+        self.advertise_interval = advertise_interval
+        self.ad_lifetime = ad_lifetime if ad_lifetime is not None else 3 * advertise_interval
+        self.policy = policy
+        self.advertise_on_state_change = advertise_on_state_change
+        self.on_claim_started = on_claim_started
+        self.on_claim_ended = on_claim_ended
+
+        self.address = f"startd@{spec.name}"
+        self.authority = TicketAuthority(spec.name, spec.name.encode())
+        self.state = MachineState.UNCLAIMED
+        self.claim: Optional[_Claim] = None
+        self.owner_active = False
+        self._owner_last_departure = sim.now
+        self._sequence = 0
+        self._pending_notices = {}
+        self.notice_retry_interval = 30.0
+        #: Give up teardown-notice delivery after this many resends (the
+        #: peer is almost certainly gone; 50 tries beats 10% loss by
+        #: 10^-50, and leases handle truly dead peers).
+        self.max_notice_retries = 50
+        #: Claim lease: evict if no KeepAlive arrives for this long.
+        #: None disables leases (ablation knob; see E-ablation bench).
+        self.claim_lease: float | None = 180.0
+        #: Vacate grace: seconds the owner tolerates between arrival and
+        #: the job being gone.  Writing a checkpoint takes
+        #: memory / checkpoint_rate seconds; if that exceeds the grace,
+        #: the checkpoint is abandoned and the work is lost.  None means
+        #: the owner always waits out the checkpoint (the default, and
+        #: the behaviour of a well-configured pool).
+        self.vacate_grace: float | None = None
+        self.checkpoint_rate_mb_s: float = 10.0
+
+        # outcome counters (tests and E5 read these)
+        self.jobs_completed = 0
+        self.evictions_owner = 0
+        self.evictions_preempted = 0
+        self.evictions_lease = 0
+        self.claims_accepted = 0
+        self.claims_rejected = 0
+
+        net.register(self.address, self._on_message)
+
+    def start(self) -> None:
+        """Arm the periodic advertiser and the owner-activity process."""
+        self.authority.mint()
+        self.sim.every(self.advertise_interval, self.advertise, start_delay=0.0)
+        active, until_change = self.owner_model.first_event(self.rng)
+        if active:
+            # Owner present from t=0: enter Owner state before anything runs.
+            self.owner_active = True
+            self._set_state(MachineState.OWNER)
+        if until_change != float("inf"):
+            self.sim.schedule(until_change, self._owner_flip)
+
+    # -- dynamic state -------------------------------------------------------
+
+    @property
+    def speed(self) -> float:
+        return self.spec.mips / REFERENCE_MIPS
+
+    @property
+    def keyboard_idle(self) -> float:
+        """Seconds since the owner last touched the machine."""
+        if self.owner_active:
+            return 0.0
+        return self.sim.now - self._owner_last_departure
+
+    @property
+    def load_avg(self) -> float:
+        """Owner-induced load (job load is excluded, as Condor's owner
+        policies consult the non-Condor load average)."""
+        return 1.25 if self.owner_active else 0.05
+
+    @property
+    def day_time(self) -> float:
+        return self.sim.now % 86_400.0
+
+    def _owner_flip(self) -> None:
+        if self.owner_active:
+            self.owner_active = False
+            self._owner_last_departure = self.sim.now
+            if self.state is MachineState.OWNER:
+                self._set_state(MachineState.UNCLAIMED)
+            self.trace.emit(self.sim.now, "owner-departed", machine=self.spec.name)
+            next_in = self.owner_model.idle_duration(self.rng)
+        else:
+            self.owner_active = True
+            self.trace.emit(self.sim.now, "owner-arrived", machine=self.spec.name)
+            if self.claim is not None:
+                self._evict("owner-returned")
+                self.evictions_owner += 1
+            self._set_state(MachineState.OWNER)
+            next_in = self.owner_model.active_duration(self.rng)
+        if next_in != float("inf"):
+            self.sim.schedule(next_in, self._owner_flip)
+
+    def _set_state(self, new: MachineState) -> None:
+        if new is self.state and new is not MachineState.CLAIMED:
+            return
+        check_machine_transition(self.state, new)
+        self.state = new
+        if new is MachineState.UNCLAIMED:
+            self.authority.mint()  # fresh ticket for the next customer
+        elif new is MachineState.OWNER:
+            self.authority.revoke()
+        if self.advertise_on_state_change:
+            # The immediate ad on state change is what bounds staleness in
+            # deployed Condor; E2 disables it to sweep pure-periodic pools.
+            self.advertise()
+
+    # -- advertising (Figure 3, step 1) ---------------------------------------
+
+    def build_ad(self) -> ClassAd:
+        """The RA's current classad — the Figure 1 shape."""
+        ad = ClassAd(
+            {
+                "Type": "Machine",
+                "Name": self.spec.name,
+                "State": self.state.value,
+                "Activity": (
+                    Activity.BUSY.value
+                    if self.claim is not None or self.owner_active
+                    else Activity.IDLE.value
+                ),
+                "Arch": self.spec.arch,
+                "OpSys": self.spec.opsys,
+                "Memory": self.spec.memory,
+                "Disk": self.spec.disk,
+                "Mips": self.spec.mips,
+                "KFlops": self.spec.kflops,
+                "LoadAvg": self.load_avg,
+                "KeyboardIdle": self.keyboard_idle,
+                "DayTime": self.day_time,
+                "ContactAddress": self.address,
+            }
+        )
+        for key, value in self.spec.extra_attrs.items():
+            ad[key] = value
+        if self.state is MachineState.OWNER:
+            # Owner present: the START policy is unsatisfiable, full stop.
+            ad.set_expr("Constraint", "false")
+        else:
+            ad.set_expr("Constraint", self.spec.constraint)
+        ad.set_expr("Rank", self.spec.rank)
+        if self.claim is not None:
+            ad["RemoteOwner"] = str(self.claim.job_ad.evaluate("Owner"))
+            ad["CurrentRank"] = self.claim.rank
+        ticket = self.authority.current
+        if ticket is not None:
+            embed_ticket(ad, ticket)
+        return ad
+
+    def advertise(self) -> None:
+        self._sequence += 1
+        self.net.send(
+            Advertisement(
+                sender=self.address,
+                recipient=self.collector_address,
+                name=f"machine.{self.spec.name}",
+                ad=self.build_ad(),
+                lifetime=self.ad_lifetime,
+                sequence=self._sequence,
+            )
+        )
+        self.trace.emit(
+            self.sim.now, "advertise-machine", machine=self.spec.name, state=self.state.value
+        )
+
+    # -- message handling ------------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        if isinstance(message, ClaimRequest):
+            self._on_claim_request(message)
+        elif isinstance(message, MatchNotification):
+            # Step 3 arrives here too; the RA just awaits the claim.
+            self.trace.emit(
+                self.sim.now, "match-notified-provider", machine=self.spec.name,
+                match=message.match_id,
+            )
+        elif isinstance(message, ReleaseNotice):
+            self._on_release(message)
+        elif isinstance(message, NoticeAck):
+            self._pending_notices.pop(message.match_id, None)
+        elif isinstance(message, KeepAlive):
+            if self.claim is not None and self.claim.match_id == message.match_id:
+                self.claim.last_alive = self.sim.now
+
+    def _send_reliably(self, notice) -> None:
+        """Send a claim-teardown notice, retrying until the CA acks.
+
+        A lost JobCompleted/JobEvicted would strand the job at the CA, so
+        these get at-least-once delivery (Condor relies on TCP here; our
+        network is datagram-like).  Duplicates are fine: the CA
+        de-duplicates by match id.
+        """
+        self._pending_notices[notice.match_id] = notice
+        self.net.send(notice)
+        self._schedule_notice_retry(notice.match_id, self.max_notice_retries)
+
+    def _schedule_notice_retry(self, match_id: int, retries_left: int) -> None:
+        def retry():
+            notice = self._pending_notices.get(match_id)
+            if notice is None:
+                return  # acked
+            if retries_left <= 0:
+                self._pending_notices.pop(match_id, None)
+                return  # peer presumed dead; leases cover the rest
+            self.net.send(notice)
+            self._schedule_notice_retry(match_id, retries_left - 1)
+
+        self.sim.schedule(self.notice_retry_interval, retry)
+
+    def _on_claim_request(self, request: ClaimRequest) -> None:
+        preempting = False
+        if self.claim is not None:
+            # Rank preemption: only a strictly better customer may displace
+            # the current one; otherwise the claim is refused outright.
+            current_ad = self.build_ad()
+            new_rank = rank_value(current_ad.evaluate("Rank", other=request.customer_ad))
+            if new_rank > self.claim.rank:
+                preempting = True
+            else:
+                self._respond(request, False, ClaimVerdict.ALREADY_CLAIMED.value)
+                return
+        decision = verify_claim(
+            request_ad=request.customer_ad,
+            current_resource_ad=self.build_ad(),
+            presented_ticket=request.ticket,
+            authority=self.authority,
+            already_claimed=False,
+            policy=self.policy,
+        )
+        if not decision.accepted:
+            self._respond(request, False, decision.verdict.value)
+            return
+        if preempting:
+            self._evict("preempted-by-higher-rank")
+            self.evictions_preempted += 1
+        self._accept_claim(request)
+
+    def _respond(self, request: ClaimRequest, accepted: bool, reason: str) -> None:
+        if accepted:
+            self.claims_accepted += 1
+        else:
+            self.claims_rejected += 1
+        self.trace.emit(
+            self.sim.now,
+            "claim-response",
+            machine=self.spec.name,
+            accepted=accepted,
+            reason=reason,
+        )
+        self.net.send(
+            ClaimResponse(
+                sender=self.address,
+                recipient=request.sender,
+                match_id=request.match_id,
+                accepted=accepted,
+                reason=reason,
+            )
+        )
+
+    def _accept_claim(self, request: ClaimRequest) -> None:
+        job_ad = request.customer_ad
+        rank = rank_value(self.build_ad().evaluate("Rank", other=job_ad))
+        remaining = job_ad.evaluate("RemainingWork")
+        remaining = float(remaining) if isinstance(remaining, (int, float)) else 0.0
+        wants_checkpoint = job_ad.evaluate("WantCheckpoint") in (1, True)
+        job_id = job_ad.evaluate("JobId")
+        claim = _Claim(
+            match_id=request.match_id,
+            customer_address=request.sender,
+            job_ad=job_ad,
+            job_id=job_id if isinstance(job_id, int) else -1,
+            rank=rank,
+            started_at=self.sim.now,
+            wants_checkpoint=wants_checkpoint,
+        )
+        wall_time = remaining * REFERENCE_MIPS / self.spec.mips
+        claim.completion_handle = self.sim.schedule(wall_time, self._complete)
+        claim.last_alive = self.sim.now
+        self.claim = claim
+        if self.claim_lease is not None:
+            self._arm_lease_check(claim)
+        # Rotate the ticket: the consumed one must not authorize a second
+        # claim, and subsequent (Claimed-state) ads carry a fresh ticket
+        # for potential preemptors.
+        self.authority.mint()
+        self._set_state(MachineState.CLAIMED)
+        if self.on_claim_started is not None:
+            self.on_claim_started(str(job_ad.evaluate("Owner")), self.spec.name)
+        self._respond(
+            ClaimRequest(
+                sender=claim.customer_address,
+                recipient=self.address,
+                customer_ad=job_ad,
+                ticket=None,
+                match_id=claim.match_id,
+            ),
+            True,
+            ClaimVerdict.ACCEPTED.value,
+        )
+
+    def _arm_lease_check(self, claim: _Claim) -> None:
+        """Periodically verify the customer is still alive; reclaim the
+        machine when the lease lapses (Condor's ALIVE protocol)."""
+
+        def check():
+            if self.claim is not claim:
+                return  # claim already ended
+            if self.sim.now - claim.last_alive > self.claim_lease:
+                self.evictions_lease += 1
+                self._evict("claim-lease-expired")
+                if not self.owner_active:
+                    self._set_state(MachineState.UNCLAIMED)
+            else:
+                self.sim.schedule(self.claim_lease / 2.0, check)
+
+        self.sim.schedule(self.claim_lease / 2.0, check)
+
+    def _work_done(self, claim: _Claim) -> float:
+        """Reference CPU-seconds executed so far under *claim*."""
+        return (self.sim.now - claim.started_at) * self.spec.mips / REFERENCE_MIPS
+
+    def _complete(self) -> None:
+        claim = self.claim
+        if claim is None:
+            return
+        self.claim = None
+        self.jobs_completed += 1
+        self.trace.emit(
+            self.sim.now, "job-completed", machine=self.spec.name, job=claim.job_id
+        )
+        self._send_reliably(
+            JobCompleted(
+                sender=self.address,
+                recipient=claim.customer_address,
+                match_id=claim.match_id,
+                job_id=claim.job_id,
+                work_done=self._work_done(claim),
+            )
+        )
+        if self.on_claim_ended is not None:
+            self.on_claim_ended(str(claim.job_ad.evaluate("Owner")), self.spec.name)
+        if not self.owner_active:
+            self._set_state(MachineState.UNCLAIMED)
+
+    def _evict(self, reason: str) -> None:
+        claim = self.claim
+        if claim is None:
+            return
+        self.claim = None
+        if claim.completion_handle is not None:
+            self.sim.cancel(claim.completion_handle)
+        checkpointed = claim.wants_checkpoint
+        if checkpointed and self.vacate_grace is not None:
+            memory = claim.job_ad.evaluate("Memory")
+            memory = float(memory) if isinstance(memory, (int, float)) else 64.0
+            checkpoint_time = memory / self.checkpoint_rate_mb_s
+            checkpointed = checkpoint_time <= self.vacate_grace
+        self.trace.emit(
+            self.sim.now,
+            "job-evicted",
+            machine=self.spec.name,
+            job=claim.job_id,
+            reason=reason,
+            checkpointed=checkpointed,
+        )
+        self._send_reliably(
+            JobEvicted(
+                sender=self.address,
+                recipient=claim.customer_address,
+                match_id=claim.match_id,
+                job_id=claim.job_id,
+                reason=reason,
+                checkpointed=checkpointed,
+                work_done=self._work_done(claim),
+            )
+        )
+        if self.on_claim_ended is not None:
+            self.on_claim_ended(str(claim.job_ad.evaluate("Owner")), self.spec.name)
+
+    def _on_release(self, notice: ReleaseNotice) -> None:
+        """Customer relinquished the claim (Section 4)."""
+        if self.claim is not None and self.claim.match_id == notice.match_id:
+            claim = self.claim
+            self.claim = None
+            if claim.completion_handle is not None:
+                self.sim.cancel(claim.completion_handle)
+            self.trace.emit(
+                self.sim.now, "claim-released", machine=self.spec.name, job=claim.job_id
+            )
+            if self.on_claim_ended is not None:
+                self.on_claim_ended(str(claim.job_ad.evaluate("Owner")), self.spec.name)
+            if not self.owner_active:
+                self._set_state(MachineState.UNCLAIMED)

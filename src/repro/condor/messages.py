@@ -1,0 +1,63 @@
+"""Condor-specific wire messages, extending the framework protocols.
+
+The framework's claiming protocol (S11) deliberately leaves the content
+of the working relationship to the parties ("bilateral specialization",
+Section 3.2): the matchmaker never sees these.  They are the CA↔RA
+traffic *after* a claim is established.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..protocols.messages import Message
+
+
+@dataclass(frozen=True)
+class JobCompleted(Message):
+    """RA → CA: the claimed job ran to completion."""
+
+    match_id: int
+    job_id: int
+    work_done: float  # reference CPU-seconds executed under this claim
+
+
+@dataclass(frozen=True)
+class JobEvicted(Message):
+    """RA → CA: the claim was terminated before completion.
+
+    ``checkpointed`` tells the CA whether ``work_done`` was saved (the
+    job resumes from there) or lost (badput; the job restarts).
+    """
+
+    match_id: int
+    job_id: int
+    reason: str
+    checkpointed: bool
+    work_done: float
+
+
+@dataclass(frozen=True)
+class KeepAlive(Message):
+    """CA → RA: the customer still exists and wants its claim.
+
+    Condor's schedd sends periodic ALIVE messages for every active
+    claim; a startd whose claim stops receiving them concludes the
+    customer died and reclaims the machine (the *claim lease*).  Without
+    this, a crashed CA would strand a workstation in Claimed forever.
+    """
+
+    match_id: int
+
+
+@dataclass(frozen=True)
+class NoticeAck(Message):
+    """CA → RA: acknowledges a JobCompleted/JobEvicted notice.
+
+    The claim-teardown notices are the one place the simulated datagram
+    network cannot be allowed to silently lose a message (a lost
+    completion would strand the job as RUNNING forever), so the RA
+    retries them until acked — the reliability Condor gets from TCP.
+    """
+
+    match_id: int

@@ -1,0 +1,132 @@
+"""The negotiator half of the central manager — S16 in DESIGN.md.
+
+Section 4: "Periodically, the pool manager enters a negotiation cycle.
+This phase invokes the matchmaking algorithm, which determines which CAs
+require matchmaking services, obtains requests from these CAs, and
+matches them with compatible RA ads. ... When the pool manager
+determines that two classads match, it invokes the matchmaking protocol
+to contact the matched principals at the contact addresses specified in
+their classads and send them each other's classads.  The manager also
+gives the CA the authorization ticket supplied by the RA."
+
+The negotiator is *stateless across cycles* except for the fair-share
+accountant (which Condor persists separately); each cycle recomputes
+from the collector's current ads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..matchmaking import Accountant, Assignment, CycleStats, negotiation_cycle
+from ..matchmaking.index import ProviderIndex
+from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy
+from ..protocols import build_notifications
+from ..sim import Network, Simulator, Trace
+from .collector import Collector
+
+
+class Negotiator:
+    """Runs periodic negotiation cycles against a collector."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        collector: Collector,
+        trace: Optional[Trace] = None,
+        address: str = "negotiator@cm",
+        cycle_interval: float = 300.0,
+        accountant: Optional[Accountant] = None,
+        policy: MatchPolicy = DEFAULT_POLICY,
+        allow_preemption: bool = True,
+        use_index: bool = False,
+        with_session_key: bool = False,
+    ):
+        self.sim = sim
+        self.net = net
+        self.collector = collector
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.address = address
+        self.cycle_interval = cycle_interval
+        self.accountant = accountant if accountant is not None else Accountant()
+        self.policy = policy
+        self.allow_preemption = allow_preemption
+        self.use_index = use_index
+        self.with_session_key = with_session_key
+
+        self.cycles_run = 0
+        self.total_matches = 0
+        self.last_cycle_stats: Optional[CycleStats] = None
+        self._down = False
+        net.register(self.address, lambda message: None)  # no inbound traffic
+        sim.every(cycle_interval, self.run_cycle)
+
+    def run_cycle(self) -> List[Assignment]:
+        """One negotiation cycle: match, then notify (Figure 3, steps 2–3)."""
+        if self._down:
+            return []
+        self.accountant.advance_to(self.sim.now)
+        providers = self.collector.machine_ads()
+        requests = self.collector.job_ads_by_owner()
+        stats = CycleStats()
+        index = ProviderIndex(providers) if self.use_index else None
+        assignments = negotiation_cycle(
+            requests,
+            providers,
+            accountant=self.accountant,
+            policy=self.policy,
+            allow_preemption=self.allow_preemption,
+            index=index,
+            stats=stats,
+        )
+        self.cycles_run += 1
+        self.total_matches += len(assignments)
+        self.last_cycle_stats = stats
+        self.trace.emit(
+            self.sim.now,
+            "negotiation-cycle",
+            machines=len(providers),
+            requests=stats.requests_considered,
+            matched=len(assignments),
+            preemptions=stats.preemptions,
+        )
+        for assignment in assignments:
+            self._notify(assignment)
+        return assignments
+
+    def _notify(self, assignment: Assignment) -> None:
+        try:
+            to_customer, to_provider = build_notifications(
+                self.address,
+                assignment.request,
+                assignment.provider,
+                with_session_key=self.with_session_key,
+            )
+        except ValueError:
+            # An ad slipped in without a contact address; the advertising
+            # protocol should have rejected it — drop the match, log it.
+            self.trace.emit(self.sim.now, "notify-failed", submitter=assignment.submitter)
+            return
+        self.trace.emit(
+            self.sim.now,
+            "match",
+            submitter=assignment.submitter,
+            job=assignment.request.evaluate("JobId"),
+            machine=assignment.provider.evaluate("Name"),
+            preempts=assignment.preempts,
+        )
+        self.net.send(to_customer)
+        self.net.send(to_provider)
+
+    # -- failure injection ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Stop negotiating (experiment E1).  The matchmaker holds no
+        match state, so nothing else needs saving."""
+        self._down = True
+        self.trace.emit(self.sim.now, "negotiator-crash")
+
+    def recover(self) -> None:
+        self._down = False
+        self.trace.emit(self.sim.now, "negotiator-recover")

@@ -1,0 +1,396 @@
+"""The Customer Agent (CA / schedd) — S15 in DESIGN.md.
+
+Section 4: "Customers of Condor are represented by Customer Agents
+(CAs), which maintain per-customer queues of submitted jobs, represented
+as lists of classads."
+
+Behaviour implemented here:
+
+* a per-customer job queue; idle jobs are advertised (and periodically
+  refreshed) as request classads;
+* on a match notification the CA performs the claiming protocol: it
+  contacts the RA directly with its *current* request ad and the
+  forwarded authorization ticket (Figure 3, step 4);
+* rejected or timed-out claims return the job to the idle queue — the
+  match was only ever a hint;
+* evictions return the job to idle, retaining progress only when the
+  job checkpoints (E5's goodput/badput accounting happens here);
+* completed jobs are recorded and withdrawn from the matchmaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..classads import ClassAd
+from ..protocols import (
+    Advertisement,
+    ClaimRequest,
+    ClaimResponse,
+    MatchNotification,
+    ReleaseNotice,
+    Withdrawal,
+)
+from ..sim import Network, PoolMetrics, Simulator, Trace
+from .jobs import Job
+from .messages import JobCompleted, JobEvicted, KeepAlive, NoticeAck
+from .states import JobState
+
+
+@dataclass
+class _PendingClaim:
+    job: Job
+    provider_address: str
+    provider_name: str
+    sent_at: float
+    timeout_handle: object
+
+
+class CustomerAgent:
+    """One customer's schedd: queue, advertising, claiming, bookkeeping."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        owner: str,
+        collector_address: str,
+        trace: Optional[Trace] = None,
+        metrics: Optional[PoolMetrics] = None,
+        advertise_interval: float = 300.0,
+        ad_lifetime: Optional[float] = None,
+        claim_timeout: float = 30.0,
+        alive_interval: float = 60.0,
+        flock_collectors: Sequence[str] = (),
+        flock_threshold: float = 600.0,
+    ):
+        self.sim = sim
+        self.net = net
+        self.owner = owner
+        self.collector_address = collector_address
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.metrics = metrics or PoolMetrics()
+        self.advertise_interval = advertise_interval
+        self.ad_lifetime = ad_lifetime if ad_lifetime is not None else 3 * advertise_interval
+        self.claim_timeout = claim_timeout
+        self.alive_interval = alive_interval
+        #: Flocking (Epema et al., the paper's ref [3]): collectors of
+        #: *remote* pools to advertise starving jobs to.
+        self.flock_collectors = list(flock_collectors)
+        #: A job idle this long starts flocking to remote pools.
+        self.flock_threshold = flock_threshold
+
+        self.address = f"schedd@{owner}"
+        self.jobs: Dict[int, Job] = {}
+        self._pending: Dict[int, _PendingClaim] = {}  # by match_id
+        self._pending_jobs: set = set()  # job ids with a claim in flight
+        # provider address per active claim, for ALIVE keep-alives
+        self._claim_addresses: Dict[int, str] = {}
+        # collectors each job's ad has been sent to (for withdrawal)
+        self._advertised_to: Dict[int, set] = {}
+        self._sequence = 0
+
+        net.register(self.address, self._on_message)
+
+    def start(self) -> None:
+        """Arm the periodic queue advertiser and the ALIVE sender."""
+        self.sim.every(self.advertise_interval, self.advertise_queue, start_delay=0.0)
+        self.sim.every(self.alive_interval, self._send_keepalives)
+
+    def _send_keepalives(self) -> None:
+        """Refresh the claim lease of every running job (Condor's ALIVE
+        messages); an RA that stops hearing these reclaims its machine."""
+        for match_id, address in self._claim_addresses.items():
+            self.net.send(
+                KeepAlive(
+                    sender=self.address, recipient=address, match_id=match_id
+                )
+            )
+
+    # -- queue management ------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Enqueue *job* and advertise it immediately."""
+        job.submit_time = self.sim.now
+        job.state = JobState.IDLE
+        self.jobs[job.job_id] = job
+        self.metrics.jobs_submitted += 1
+        self.trace.emit(self.sim.now, "job-submitted", owner=self.owner, job=job.job_id)
+        self._advertise_job(job)
+
+    def idle_jobs(self) -> List[Job]:
+        return [
+            job
+            for job in self.jobs.values()
+            if job.state is JobState.IDLE and job.job_id not in self._pending_jobs
+        ]
+
+    def unfinished(self) -> int:
+        return sum(
+            1
+            for job in self.jobs.values()
+            if job.state not in (JobState.COMPLETED, JobState.REMOVED)
+        )
+
+    def remove(self, job_id: int) -> bool:
+        """condor_rm: withdraw a job from the system.
+
+        Idle jobs are withdrawn from the matchmaker; running jobs
+        relinquish their claim directly with the RA ("When the CA
+        finishes using the resource, it relinquishes the claim" —
+        Section 4 — removal is just finishing early).  Returns False for
+        unknown or already-terminal jobs.
+        """
+        job = self.jobs.get(job_id)
+        if job is None or job.state in (JobState.COMPLETED, JobState.REMOVED):
+            return False
+        if job.state is JobState.RUNNING and job.running_match_id is not None:
+            address = self._claim_addresses.pop(job.running_match_id, None)
+            if address is not None:
+                self.net.send(
+                    ReleaseNotice(
+                        sender=self.address,
+                        recipient=address,
+                        match_id=job.running_match_id,
+                    )
+                )
+        else:
+            self._withdraw_job(job)
+        self._pending_jobs.discard(job.job_id)
+        job.state = JobState.REMOVED
+        job.running_on = None
+        job.running_match_id = None
+        self.trace.emit(self.sim.now, "job-removed", owner=self.owner, job=job.job_id)
+        return True
+
+    # -- advertising (Figure 3, step 1) ------------------------------------
+
+    def _ad_name(self, job: Job) -> str:
+        return f"job.{self.owner}.{job.job_id}"
+
+    def _advertise_job(self, job: Job, collector: Optional[str] = None) -> None:
+        collector = collector if collector is not None else self.collector_address
+        self._sequence += 1
+        self.net.send(
+            Advertisement(
+                sender=self.address,
+                recipient=collector,
+                name=self._ad_name(job),
+                ad=job.to_classad(self.address, self.sim.now),
+                lifetime=self.ad_lifetime,
+                sequence=self._sequence,
+            )
+        )
+        self._advertised_to.setdefault(job.job_id, set()).add(collector)
+        self.trace.emit(
+            self.sim.now,
+            "advertise-job" if collector == self.collector_address else "advertise-job-flock",
+            owner=self.owner,
+            job=job.job_id,
+            collector=collector,
+        )
+
+    def _withdraw_job(self, job: Job) -> None:
+        """Withdraw the job's ad from every collector that received it."""
+        for collector in self._advertised_to.pop(job.job_id, {self.collector_address}):
+            self.net.send(
+                Withdrawal(
+                    sender=self.address,
+                    recipient=collector,
+                    name=self._ad_name(job),
+                )
+            )
+
+    def advertise_queue(self) -> None:
+        """Refresh the request ads of every idle job.
+
+        Jobs that have starved past the flock threshold are additionally
+        advertised to the remote pools' collectors — the local pool gets
+        right of first refusal, then the flock shares the load.
+        """
+        for job in self.idle_jobs():
+            self._advertise_job(job)
+            if (
+                self.flock_collectors
+                and self.sim.now - job.submit_time >= self.flock_threshold
+            ):
+                for collector in self.flock_collectors:
+                    self._advertise_job(job, collector=collector)
+
+    # -- message handling -----------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        if isinstance(message, MatchNotification):
+            self._on_match(message)
+        elif isinstance(message, ClaimResponse):
+            self._on_claim_response(message)
+        elif isinstance(message, JobCompleted):
+            self._on_completed(message)
+        elif isinstance(message, JobEvicted):
+            self._on_evicted(message)
+
+    def _on_match(self, notification: MatchNotification) -> None:
+        """Figure 3, step 3→4: a match is a *hint*; try to claim."""
+        job_id = notification.my_ad.evaluate("JobId")
+        job = self.jobs.get(job_id) if isinstance(job_id, int) else None
+        if job is None or job.state is not JobState.IDLE or job.job_id in self._pending_jobs:
+            # Stale match (job finished, running, or already being claimed):
+            # the CA simply declines to proceed — "Either entity may choose
+            # to not proceed further and reject the introduction."
+            self.trace.emit(
+                self.sim.now, "match-ignored", owner=self.owner, job=job_id
+            )
+            return
+        job.matches += 1
+        provider_name = str(notification.peer_ad.evaluate("Name"))
+        advertised_at = notification.my_ad.evaluate("AdvertisedAt")
+        if isinstance(advertised_at, (int, float)):
+            self.metrics.match_latency.add(self.sim.now - float(advertised_at))
+        self.trace.emit(
+            self.sim.now,
+            "match-notified-customer",
+            owner=self.owner,
+            job=job.job_id,
+            machine=provider_name,
+            match=notification.match_id,
+        )
+        # Claim with the *current* request ad (it may differ from the ad
+        # the matchmaker used — that is the point of claim-time checks).
+        request = ClaimRequest(
+            sender=self.address,
+            recipient=notification.peer_address,
+            customer_ad=job.to_classad(self.address, self.sim.now),
+            ticket=notification.ticket,
+            match_id=notification.match_id,
+        )
+        timeout = self.sim.schedule(
+            self.claim_timeout, lambda: self._claim_timed_out(notification.match_id)
+        )
+        self._pending[notification.match_id] = _PendingClaim(
+            job=job,
+            provider_address=notification.peer_address,
+            provider_name=provider_name,
+            sent_at=self.sim.now,
+            timeout_handle=timeout,
+        )
+        self._pending_jobs.add(job.job_id)
+        self.metrics.claims_attempted += 1
+        self.trace.emit(
+            self.sim.now, "claim-request", owner=self.owner, job=job.job_id,
+            machine=provider_name,
+        )
+        self.net.send(request)
+
+    def _claim_timed_out(self, match_id: int) -> None:
+        pending = self._pending.pop(match_id, None)
+        if pending is None:
+            return
+        self._pending_jobs.discard(pending.job.job_id)
+        self.metrics.record_claim_rejection("timeout")
+        self.trace.emit(
+            self.sim.now, "claim-timeout", owner=self.owner, job=pending.job.job_id
+        )
+
+    def _on_claim_response(self, response: ClaimResponse) -> None:
+        pending = self._pending.pop(response.match_id, None)
+        if pending is None:
+            return  # timed out already, or duplicate
+        self.sim.cancel(pending.timeout_handle)
+        job = pending.job
+        self._pending_jobs.discard(job.job_id)
+        if not response.accepted:
+            job.claim_rejections += 1
+            self.metrics.record_claim_rejection(response.reason)
+            self.trace.emit(
+                self.sim.now,
+                "claim-rejected",
+                owner=self.owner,
+                job=job.job_id,
+                reason=response.reason,
+            )
+            return  # job stays idle; next cycle retries
+        job.state = JobState.RUNNING
+        job.running_on = pending.provider_name
+        job.running_match_id = response.match_id
+        self._claim_addresses[response.match_id] = pending.provider_address
+        if job.first_start_time is None:
+            job.first_start_time = self.sim.now
+            wait = job.wait_time()
+            if wait is not None:
+                self.metrics.wait_time.add(wait)
+        self._withdraw_job(job)
+        self.trace.emit(
+            self.sim.now,
+            "claim-accepted",
+            owner=self.owner,
+            job=job.job_id,
+            machine=pending.provider_name,
+        )
+
+    def _ack_notice(self, message) -> None:
+        """Teardown notices are retried by the RA until acked; always ack,
+        even for duplicates or stale match ids."""
+        self.net.send(
+            NoticeAck(
+                sender=self.address, recipient=message.sender, match_id=message.match_id
+            )
+        )
+
+    def _current_claim_notice(self, message) -> Optional[Job]:
+        """The job this teardown notice is about, iff it refers to the
+        job's *current* claim (stale duplicates from an earlier claim,
+        or notices for jobs the user removed, must not disturb it)."""
+        job = self.jobs.get(message.job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            return None
+        if job.running_match_id != message.match_id:
+            return None
+        return job
+
+    def _on_completed(self, message: JobCompleted) -> None:
+        self._ack_notice(message)
+        job = self._current_claim_notice(message)
+        self._claim_addresses.pop(message.match_id, None)
+        if job is None:
+            return
+        job.state = JobState.COMPLETED
+        job.completion_time = self.sim.now
+        job.running_on = None
+        job.running_match_id = None
+        self.metrics.jobs_completed += 1
+        self.metrics.goodput += message.work_done
+        turnaround = job.turnaround()
+        if turnaround is not None:
+            self.metrics.turnaround.add(turnaround)
+        self.trace.emit(
+            self.sim.now, "job-done", owner=self.owner, job=job.job_id
+        )
+
+    def _on_evicted(self, message: JobEvicted) -> None:
+        self._ack_notice(message)
+        job = self._current_claim_notice(message)
+        self._claim_addresses.pop(message.match_id, None)
+        if job is None:
+            return
+        job.state = JobState.IDLE
+        job.running_on = None
+        job.running_match_id = None
+        job.evictions += 1
+        self.metrics.evictions += 1
+        if message.checkpointed:
+            job.completed_work += message.work_done
+            self.metrics.evictions_checkpointed += 1
+            self.metrics.goodput += message.work_done
+        else:
+            job.restarts += 1
+            self.metrics.badput += message.work_done
+        self.trace.emit(
+            self.sim.now,
+            "job-evicted-ca",
+            owner=self.owner,
+            job=job.job_id,
+            checkpointed=message.checkpointed,
+            lost=0.0 if message.checkpointed else message.work_done,
+        )
+        self._advertise_job(job)  # back in the hunt immediately

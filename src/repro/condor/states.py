@@ -1,0 +1,61 @@
+"""State machines for resources and jobs — part of S14/S15.
+
+Machine states follow the paper-era Condor startd:
+
+* ``OWNER``     — the owner is using the workstation; unavailable.
+* ``UNCLAIMED`` — available and advertising for customers.
+* ``CLAIMED``   — running a customer's job.
+
+(The deployed startd also has transient Matched/Preempting states; in the
+simulator the matched→claimed transition is a single claim handshake and
+preemption is instantaneous eviction, so those states would never be
+observable between events.  DESIGN.md S14 records this simplification.)
+
+Job states follow the paper's customer-agent description: queued jobs are
+idle, matched jobs run, evicted jobs return to idle (possibly with a
+checkpoint), finished jobs are completed.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class MachineState(Enum):
+    OWNER = "Owner"
+    UNCLAIMED = "Unclaimed"
+    CLAIMED = "Claimed"
+
+
+class Activity(Enum):
+    """The activity advertised alongside the state (Figure 1's ad has
+    ``Activity = "Idle"``)."""
+
+    IDLE = "Idle"
+    BUSY = "Busy"
+
+
+class JobState(Enum):
+    IDLE = "Idle"
+    RUNNING = "Running"
+    COMPLETED = "Completed"
+    REMOVED = "Removed"
+
+
+#: Legal machine-state transitions; the MachineAgent asserts on these so a
+#: protocol bug can never silently corrupt the state machine.
+MACHINE_TRANSITIONS = {
+    MachineState.OWNER: {MachineState.UNCLAIMED},
+    MachineState.UNCLAIMED: {MachineState.OWNER, MachineState.CLAIMED},
+    MachineState.CLAIMED: {MachineState.OWNER, MachineState.UNCLAIMED, MachineState.CLAIMED},
+}
+
+
+def check_machine_transition(old: MachineState, new: MachineState) -> None:
+    """Raise AssertionError on an illegal machine state transition.
+
+    CLAIMED→CLAIMED is legal: Rank preemption replaces one claim with
+    another without passing through UNCLAIMED.
+    """
+    if new not in MACHINE_TRANSITIONS[old]:
+        raise AssertionError(f"illegal machine transition {old.value} -> {new.value}")

@@ -1,0 +1,145 @@
+"""Status tools — the one-way-matching utilities of Section 4.
+
+"All entities are represented with classads, as are queries submitted by
+various administrative and user tools.  One-way matching protocols are
+used to find all objects matching a given pattern.  For example, there
+are tools to check on the status of job queues and browse existing
+resources."
+
+These render the classic Condor command-line views from a collector's ad
+store (or any ad list): ``condor_status`` (machines), ``condor_q``
+(jobs), and a generic constrained query.  Pure functions over ads, so
+they work identically against a live simulation or a saved snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..classads import ClassAd
+from ..matchmaking import select
+
+
+def _cell(ad: ClassAd, attr: str, width: int = 0, numeric: bool = False) -> str:
+    value = ad.evaluate(attr)
+    if isinstance(value, bool):
+        text = "true" if value else "false"
+    elif isinstance(value, float):
+        text = f"{value:.3f}"
+    elif isinstance(value, (int, str)):
+        text = str(value)
+    else:
+        text = "[?]"
+    return text
+
+
+def _render(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = ["  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))]
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def machine_status(
+    ads: Iterable[ClassAd], constraint: Optional[str] = None
+) -> str:
+    """The ``condor_status`` view: one row per machine ad."""
+    machines = select(ads, 'Type == "Machine"')
+    if constraint is not None:
+        machines = select(machines, constraint)
+    rows = [
+        [
+            _cell(ad, "Name"),
+            _cell(ad, "Arch"),
+            _cell(ad, "OpSys"),
+            _cell(ad, "State"),
+            _cell(ad, "Activity"),
+            _cell(ad, "Memory"),
+            _cell(ad, "LoadAvg"),
+            _cell(ad, "KeyboardIdle"),
+        ]
+        for ad in machines
+    ]
+    table = _render(
+        ["Name", "Arch", "OpSys", "State", "Activity", "Mem", "LoadAv", "KbdIdle"],
+        rows,
+    )
+    summary = _state_summary(machines)
+    return f"{table}\n\n{summary}" if rows else f"(no machines)\n\n{summary}"
+
+
+def _state_summary(machines: List[ClassAd]) -> str:
+    counts = {}
+    for ad in machines:
+        state = ad.evaluate("State")
+        key = state if isinstance(state, str) else "?"
+        counts[key] = counts.get(key, 0) + 1
+    total = len(machines)
+    parts = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    return f"Total {total} machines: {parts}" if total else "Total 0 machines"
+
+
+def queue_status(ads: Iterable[ClassAd], owner: Optional[str] = None) -> str:
+    """The ``condor_q`` view over advertised (idle) request ads."""
+    jobs = select(ads, 'Type == "Job"')
+    if owner is not None:
+        jobs = [ad for ad in jobs if ad.evaluate("Owner") == owner]
+    rows = [
+        [
+            _cell(ad, "JobId"),
+            _cell(ad, "Owner"),
+            _cell(ad, "Cmd"),
+            _cell(ad, "Memory"),
+            _cell(ad, "ReqArch"),
+            _cell(ad, "RemainingWork"),
+        ]
+        for ad in jobs
+    ]
+    table = _render(["ID", "Owner", "Cmd", "Mem", "Arch", "Remaining"], rows)
+    return table if rows else "(no idle jobs advertised)"
+
+
+def browse(ads: Iterable[ClassAd], constraint: str) -> List[ClassAd]:
+    """Generic one-way browse: every ad satisfying *constraint*."""
+    return select(ads, constraint)
+
+
+def job_history(jobs, owner: Optional[str] = None) -> str:
+    """The ``condor_history`` view over Job objects (completed/removed)."""
+    from .states import JobState
+
+    rows = []
+    for job in jobs:
+        if job.state not in (JobState.COMPLETED, JobState.REMOVED):
+            continue
+        if owner is not None and job.owner != owner:
+            continue
+        turnaround = job.turnaround()
+        rows.append(
+            [
+                str(job.job_id),
+                job.owner,
+                job.state.value,
+                f"{job.submit_time:.0f}",
+                f"{turnaround:.0f}" if turnaround is not None else "-",
+                str(job.evictions),
+                str(job.matches),
+            ]
+        )
+    table = _render(
+        ["ID", "Owner", "State", "Submitted", "Turnaround", "Evicts", "Matches"], rows
+    )
+    return table if rows else "(no finished jobs)"
+
+
+def format_userprio(accountant) -> str:
+    """The ``condor_userprio`` view from an Accountant."""
+    rows = [
+        [name, f"{priority:.2f}", f"{usage:.0f}", str(in_use)]
+        for name, priority, usage, in_use in accountant.usage_report()
+    ]
+    return _render(["User", "EffPrio", "Usage(cpu·s)", "InUse"], rows)

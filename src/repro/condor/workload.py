@@ -1,0 +1,247 @@
+"""Workload and pool generators — S17 in DESIGN.md.
+
+The paper evaluated on the UW–Madison pool: hundreds of heterogeneous,
+distributively-owned workstations plus a stream of scientific batch
+jobs.  These generators synthesize that environment (DESIGN.md's
+substitution table): machine mixes over architecture/OS/memory/speed,
+owner-presence traces (office-hours and random-interruption models), and
+job streams with Figure-2-shaped requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.rng import RngStream
+from .jobs import Job
+from .machine import MachineSpec, OwnerModel
+
+#: (arch, opsys) platforms with late-90s pool weights: mostly Intel
+#: Solaris/Linux boxes, a tail of big-iron workstations.
+DEFAULT_PLATFORMS: Sequence[Tuple[str, str, float]] = (
+    ("INTEL", "SOLARIS251", 0.45),
+    ("INTEL", "LINUX", 0.25),
+    ("SPARC", "SOLARIS251", 0.20),
+    ("ALPHA", "OSF1", 0.10),
+)
+
+DEFAULT_MEMORY_CHOICES: Sequence[int] = (32, 64, 128, 256)
+
+
+# ---------------------------------------------------------------------------
+# owner-presence models
+
+
+class NeverPresentOwner(OwnerModel):
+    """A dedicated compute node: the owner never appears."""
+
+
+class PoissonOwner(OwnerModel):
+    """Memoryless interruptions: exponential active and idle phases.
+
+    Models the paper's "transit between available and unavailable states
+    without advance notice".
+    """
+
+    def __init__(self, mean_active: float = 1_800.0, mean_idle: float = 5_400.0):
+        if mean_active <= 0 or mean_idle <= 0:
+            raise ValueError("phase means must be positive")
+        self.mean_active = mean_active
+        self.mean_idle = mean_idle
+
+    def first_event(self, rng):
+        # Start in the idle phase with the stationary probability.
+        p_idle = self.mean_idle / (self.mean_idle + self.mean_active)
+        if rng.bernoulli(p_idle):
+            return False, self.idle_duration(rng)
+        return True, self.active_duration(rng)
+
+    def active_duration(self, rng) -> float:
+        return rng.expovariate(1.0 / self.mean_active)
+
+    def idle_duration(self, rng) -> float:
+        return rng.expovariate(1.0 / self.mean_idle)
+
+
+class OfficeHoursOwner(OwnerModel):
+    """Deterministic nine-to-five-ish presence with a per-machine jitter.
+
+    The owner arrives at ``start`` and leaves at ``end`` every simulated
+    day (offsets jittered once per machine so the whole pool does not
+    move in lock-step).
+    """
+
+    def __init__(self, start: float = 9 * 3600, end: float = 17 * 3600, jitter: float = 1_800.0):
+        if not 0 <= start < end <= 86_400:
+            raise ValueError("office hours must fall within one day")
+        self.start = start
+        self.end = end
+        self.jitter = jitter
+        self._offset: Optional[float] = None
+
+    def _jittered(self, rng) -> Tuple[float, float]:
+        if self._offset is None:
+            self._offset = rng.uniform(-self.jitter, self.jitter) if rng else 0.0
+        start = min(max(0.0, self.start + self._offset), 86_000.0)
+        end = min(max(start + 60.0, self.end + self._offset), 86_400.0)
+        return start, end
+
+    def first_event(self, rng):
+        start, end = self._jittered(rng)
+        # Simulations start at t=0 (midnight): owner is away until start.
+        return False, start
+
+    def active_duration(self, rng) -> float:
+        start, end = self._jittered(rng)
+        return end - start
+
+    def idle_duration(self, rng) -> float:
+        start, end = self._jittered(rng)
+        return 86_400.0 - (end - start)
+
+
+# ---------------------------------------------------------------------------
+# pool generation
+
+
+@dataclass
+class PoolProfile:
+    """Knobs for synthesizing a machine pool."""
+
+    platforms: Sequence[Tuple[str, str, float]] = DEFAULT_PLATFORMS
+    memory_choices: Sequence[int] = DEFAULT_MEMORY_CHOICES
+    mips_range: Tuple[float, float] = (50.0, 300.0)
+    kflops_per_mips: float = 200.0
+    disk_range: Tuple[int, int] = (100_000, 2_000_000)
+    constraint: str = 'other.Type == "Job"'
+    rank: str = "0"
+
+
+#: The Figure 1 owner policy, parameterized by per-machine lists
+#: (ResearchGroup / Friends / Untrusted go into extra_attrs).
+FIGURE1_POLICY_CONSTRAINT = (
+    "!member(other.Owner, Untrusted) && "
+    "(Rank >= 10 ? true : "
+    "Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 : "
+    "DayTime < 8*60*60 || DayTime > 18*60*60)"
+)
+FIGURE1_POLICY_RANK = (
+    "member(other.Owner, ResearchGroup) * 10 + member(other.Owner, Friends)"
+)
+
+
+def generate_policy_pool(
+    rng: RngStream,
+    count: int,
+    groups: Sequence[Sequence[str]],
+    friends: Sequence[str] = (),
+    untrusted: Sequence[str] = (),
+    profile: Optional[PoolProfile] = None,
+    name_prefix: str = "ws",
+) -> List[MachineSpec]:
+    """A pool of Figure-1-policy workstations.
+
+    Each machine belongs to one research group from *groups* (assigned
+    round-robin) and carries the full four-tier owner policy: its group
+    always welcome, *friends* only when idle, strangers only at night,
+    *untrusted* never.  This is the workload that makes bilateral
+    matching necessary — no queue configuration can express it.
+    """
+    profile = profile or PoolProfile()
+    specs = generate_pool(rng, count, profile, name_prefix=name_prefix)
+    for i, spec in enumerate(specs):
+        group = list(groups[i % len(groups)])
+        spec.constraint = FIGURE1_POLICY_CONSTRAINT
+        spec.rank = FIGURE1_POLICY_RANK
+        spec.extra_attrs.update(
+            ResearchGroup=group,
+            Friends=list(friends),
+            Untrusted=list(untrusted),
+        )
+    return specs
+
+
+def generate_pool(
+    rng: RngStream,
+    count: int,
+    profile: Optional[PoolProfile] = None,
+    name_prefix: str = "vm",
+) -> List[MachineSpec]:
+    """*count* machine specs drawn from *profile*'s distributions."""
+    profile = profile or PoolProfile()
+    platforms = [(a, o) for a, o, _ in profile.platforms]
+    weights = [w for _, _, w in profile.platforms]
+    specs: List[MachineSpec] = []
+    for i in range(count):
+        arch, opsys = rng.choices(platforms, weights=weights)[0]
+        mips = rng.uniform(*profile.mips_range)
+        specs.append(
+            MachineSpec(
+                name=f"{name_prefix}{i:04d}",
+                arch=arch,
+                opsys=opsys,
+                memory=rng.choice(list(profile.memory_choices)),
+                disk=rng.randint(*profile.disk_range),
+                mips=mips,
+                kflops=mips * profile.kflops_per_mips,
+                constraint=profile.constraint,
+                rank=profile.rank,
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# job generation
+
+
+@dataclass
+class JobProfile:
+    """Knobs for synthesizing a job stream."""
+
+    mean_work: float = 1_800.0  # reference CPU-seconds
+    memory_choices: Sequence[int] = (16, 31, 64, 128)
+    want_checkpoint_fraction: float = 1.0
+    platforms: Sequence[Tuple[str, str, float]] = DEFAULT_PLATFORMS
+
+
+def generate_jobs(
+    rng: RngStream,
+    owner: str,
+    count: int,
+    profile: Optional[JobProfile] = None,
+) -> List[Job]:
+    """*count* jobs for *owner*, requirements drawn from *profile*."""
+    profile = profile or JobProfile()
+    platforms = [(a, o) for a, o, _ in profile.platforms]
+    weights = [w for _, _, w in profile.platforms]
+    jobs: List[Job] = []
+    for _ in range(count):
+        arch, opsys = rng.choices(platforms, weights=weights)[0]
+        work = rng.expovariate(1.0 / profile.mean_work)
+        jobs.append(
+            Job(
+                owner=owner,
+                total_work=max(60.0, work),
+                memory=rng.choice(list(profile.memory_choices)),
+                req_arch=arch,
+                req_opsys=opsys,
+                want_checkpoint=rng.bernoulli(profile.want_checkpoint_fraction),
+            )
+        )
+    return jobs
+
+
+def poisson_arrival_times(
+    rng: RngStream, count: int, rate: float, start: float = 0.0
+) -> List[float]:
+    """*count* Poisson arrival instants at *rate* jobs/second."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    times: List[float] = []
+    t = start
+    for _ in range(count):
+        t += rng.expovariate(rate)
+        times.append(t)
+    return times

@@ -1,0 +1,206 @@
+"""ClassAd aggregation / group matching — S21 in DESIGN.md.
+
+Section 5: "lists of classads representing resources and customers
+exhibit a high degree of regularity, which is manifest in two ways:
+structural regularity and value regularity.  The former occurs when
+entities tend to publish attributes with the same names, and the latter
+occurs when groups of entities publish attributes with similar values.
+We are currently investigating techniques for exploiting this
+regularity, and automatically aggregating classads so that matches may
+be performed in groups."
+
+Implementation: two ads belong to the same **group** when they are
+structurally identical after dropping a configurable set of
+identity-only attributes (``Name``, ``ContactAddress``, ``AuthTicket``
+by default — attributes that identify an instance but never appear in
+matching constraints).  The matchmaker then evaluates constraints
+against one *representative* per group and fans the verdict out to all
+members, turning O(#ads) constraint evaluations into O(#groups).
+
+Soundness requires that customers not constrain on the dropped
+attributes; :func:`AdAggregation.safe_for` checks a customer's
+constraint against the dropped set and falls back to exact matching
+when it references one (so group matching is *never* wrong, only
+sometimes unavailable — a property test enforces equivalence with the
+naive matcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..classads import ClassAd, external_references, unparse
+from .match import (
+    DEFAULT_POLICY,
+    Match,
+    MatchPolicy,
+    constraints_satisfied,
+    evaluate_rank,
+)
+
+#: Attributes that identify an instance rather than describe a service;
+#: dropped from group signatures.
+DEFAULT_IDENTITY_ATTRS = frozenset(
+    {"name", "contactaddress", "authticket", "advertisedat"}
+)
+
+
+@dataclass
+class AdGroup:
+    """A set of structurally identical ads (modulo identity attrs)."""
+
+    signature: Tuple
+    representative: ClassAd
+    members: List[ClassAd] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def group_signature(
+    ad: ClassAd, identity_attrs: frozenset = DEFAULT_IDENTITY_ATTRS
+) -> Tuple:
+    """A hashable signature capturing the ad's matching-relevant content.
+
+    Structural regularity: the sorted attribute-name set.  Value
+    regularity: the expressions themselves (rendered, since Expr nodes
+    hash structurally but rendering keeps the signature debuggable).
+    """
+    parts = []
+    for key in sorted(ad.canonical_keys()):
+        if key in identity_attrs:
+            continue
+        parts.append((key, unparse(ad[key])))
+    return tuple(parts)
+
+
+class AdAggregation:
+    """Grouped view of a provider-ad population."""
+
+    def __init__(
+        self,
+        ads: Sequence[ClassAd],
+        identity_attrs: Iterable[str] = DEFAULT_IDENTITY_ATTRS,
+    ):
+        self.identity_attrs = frozenset(a.lower() for a in identity_attrs)
+        self.groups: List[AdGroup] = []
+        table: Dict[Tuple, AdGroup] = {}
+        for ad in ads:
+            signature = group_signature(ad, self.identity_attrs)
+            group = table.get(signature)
+            if group is None:
+                group = AdGroup(signature=signature, representative=ad)
+                table[signature] = group
+                self.groups.append(group)
+            group.members.append(ad)
+
+    @property
+    def total_ads(self) -> int:
+        return sum(len(g) for g in self.groups)
+
+    @property
+    def compression(self) -> float:
+        """ads-per-group — the regularity factor E7 sweeps."""
+        return self.total_ads / len(self.groups) if self.groups else 0.0
+
+    def safe_for(self, customer: ClassAd, policy: MatchPolicy = DEFAULT_POLICY) -> bool:
+        """Group verdicts are valid for *customer* iff its constraint and
+        rank never reference a dropped (identity) attribute of the other
+        ad."""
+        exprs = []
+        name = policy.constraint_of(customer)
+        if name is not None:
+            exprs.append(customer[name])
+        rank = customer.lookup(policy.rank_attr)
+        if rank is not None:
+            exprs.append(rank)
+        for expr in exprs:
+            for scope, attr in external_references(expr):
+                if scope in ("other", None) and attr in self.identity_attrs:
+                    return False
+        return True
+
+
+@dataclass
+class GroupMatchStats:
+    constraint_evaluations: int = 0
+    groups_tested: int = 0
+    fallbacks: int = 0  # customers unsafe for grouping
+
+
+def group_match(
+    customer: ClassAd,
+    aggregation: AdAggregation,
+    policy: MatchPolicy = DEFAULT_POLICY,
+    stats: Optional[GroupMatchStats] = None,
+) -> List[ClassAd]:
+    """All providers matching *customer*, evaluated per group.
+
+    Equivalent to filtering every ad with
+    :func:`~repro.matchmaking.match.constraints_satisfied` (a hypothesis
+    property enforces this); cost scales with the number of *groups*.
+    Falls back to exact per-ad matching when the customer references an
+    identity attribute.
+    """
+    stats = stats if stats is not None else GroupMatchStats()
+    if not aggregation.safe_for(customer, policy):
+        stats.fallbacks += 1
+        matched = []
+        for group in aggregation.groups:
+            for ad in group.members:
+                stats.constraint_evaluations += 1
+                if constraints_satisfied(customer, ad, policy):
+                    matched.append(ad)
+        return matched
+    matched = []
+    for group in aggregation.groups:
+        stats.groups_tested += 1
+        stats.constraint_evaluations += 1
+        if constraints_satisfied(customer, group.representative, policy):
+            matched.extend(group.members)
+    return matched
+
+
+def group_best_match(
+    customer: ClassAd,
+    aggregation: AdAggregation,
+    policy: MatchPolicy = DEFAULT_POLICY,
+    stats: Optional[GroupMatchStats] = None,
+) -> Optional[Match]:
+    """Best provider by (customer Rank, provider Rank), one evaluation
+    per group: all members share rank values because they share every
+    matching-relevant attribute."""
+    stats = stats if stats is not None else GroupMatchStats()
+    if not aggregation.safe_for(customer, policy):
+        stats.fallbacks += 1
+        from .match import best_match
+
+        flat = [ad for group in aggregation.groups for ad in group.members]
+        stats.constraint_evaluations += len(flat)
+        return best_match(customer, flat, policy)
+    best: Optional[Tuple[float, float, int, AdGroup]] = None
+    for order, group in enumerate(aggregation.groups):
+        stats.groups_tested += 1
+        stats.constraint_evaluations += 1
+        representative = group.representative
+        if not constraints_satisfied(customer, representative, policy):
+            continue
+        key = (
+            evaluate_rank(customer, representative, policy),
+            evaluate_rank(representative, customer, policy),
+            -order,
+        )
+        if best is None or key > best[:3]:
+            best = (*key, group)
+    if best is None:
+        return None
+    group = best[3]
+    chosen = group.members[0]
+    return Match(
+        customer=customer,
+        provider=chosen,
+        customer_rank=best[0],
+        provider_rank=best[1],
+        index=0,
+    )

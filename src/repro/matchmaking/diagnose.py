@@ -1,0 +1,217 @@
+"""Constraint diagnostics — S22 in DESIGN.md.
+
+Section 5: "The complexity of constraints imposed by resources and
+customers may hinder the diagnostic capability of administrators and
+customers who may wonder why certain requests are unable to find
+resources with particular characteristics.  To alleviate this problem,
+we are researching methods for identifying constraints which can never
+be satisfied by the pool.  In addition to diagnostic utilities, this
+tool may help discovering hidden characteristics of a pool."
+
+This module is that tool (the ancestor of HTCondor's
+``condor_q -better-analyze``):
+
+* decompose the request's Constraint into top-level conjuncts and count,
+  for every conjunct, how many pool ads satisfy it;
+* identify *unsatisfiable* conjuncts (zero ads) — the "never satisfied
+  by the pool" detector;
+* for equality predicates on a pool attribute, report the values the
+  pool actually advertises (the "hidden characteristics" discovery);
+* analyze the reverse direction too: of the ads satisfying the request,
+  how many refuse the *requester* (provider-side policy rejections).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..classads import ClassAd, Expr, is_true, unparse
+from ..classads.evaluator import evaluate
+from ..classads.values import is_number, is_string
+from .index import Predicate, conjuncts, extract_predicates
+from .match import DEFAULT_POLICY, MatchPolicy, constraint_holds
+
+
+@dataclass
+class ClauseReport:
+    """Per-conjunct satisfaction statistics against the pool."""
+
+    expression: str
+    satisfied: int
+    total: int
+    suggestion: Optional[str] = None
+
+    @property
+    def unsatisfiable(self) -> bool:
+        return self.satisfied == 0
+
+    def __str__(self) -> str:
+        line = f"[{self.satisfied:5d} / {self.total}] {self.expression}"
+        if self.suggestion:
+            line += f"\n        hint: {self.suggestion}"
+        return line
+
+
+@dataclass
+class Diagnosis:
+    """The full analysis of one request against one pool."""
+
+    request_summary: str
+    pool_size: int
+    clauses: List[ClauseReport]
+    full_constraint_matches: int
+    bilateral_matches: int
+    rejected_by_provider_policy: int
+
+    @property
+    def unsatisfiable_clauses(self) -> List[ClauseReport]:
+        return [c for c in self.clauses if c.unsatisfiable]
+
+    @property
+    def never_matches(self) -> bool:
+        return self.bilateral_matches == 0
+
+    def render(self) -> str:
+        lines = [
+            f"Analysis of {self.request_summary} against {self.pool_size} ads:",
+            "",
+            "Constraint clauses (ads satisfying each / pool size):",
+        ]
+        lines += [f"  {clause}" for clause in self.clauses]
+        lines += [
+            "",
+            f"ads satisfying the full Constraint : {self.full_constraint_matches}",
+            f"of those, rejecting this requester : {self.rejected_by_provider_policy}",
+            f"bilateral matches                  : {self.bilateral_matches}",
+        ]
+        if self.unsatisfiable_clauses:
+            lines.append("")
+            lines.append("UNSATISFIABLE clauses (no ad in the pool satisfies them):")
+            lines += [f"  {c.expression}" for c in self.unsatisfiable_clauses]
+        return "\n".join(lines)
+
+
+def _clause_satisfied(clause: Expr, request: ClassAd, target: ClassAd) -> bool:
+    return is_true(evaluate(clause, request, other=target))
+
+
+def _value_census(
+    predicate: Predicate, pool: Sequence[ClassAd], limit: int = 6
+) -> Optional[str]:
+    """What values does the pool actually advertise for this attribute?"""
+    census: Counter = Counter()
+    missing = 0
+    for ad in pool:
+        value = ad.evaluate(predicate.attr)
+        if is_string(value):
+            census[value] += 1
+        elif is_number(value):
+            census[value] += 1
+        else:
+            missing += 1
+    if not census and not missing:
+        return None
+    parts = [
+        f"{value!r}×{count}" for value, count in census.most_common(limit)
+    ]
+    if missing:
+        parts.append(f"<undefined>×{missing}")
+    return f"pool advertises {predicate.attr} ∈ {{ {', '.join(parts)} }}"
+
+
+def diagnose(
+    request: ClassAd,
+    pool: Sequence[ClassAd],
+    policy: MatchPolicy = DEFAULT_POLICY,
+) -> Diagnosis:
+    """Why does (or doesn't) *request* match the *pool*?"""
+    pool = list(pool)
+    constraint_name = policy.constraint_of(request)
+    clauses: List[ClauseReport] = []
+    full_matches = 0
+    bilateral = 0
+    rejected_by_policy = 0
+
+    clause_exprs = (
+        conjuncts(request[constraint_name]) if constraint_name is not None else []
+    )
+    predicates = (
+        extract_predicates(request[constraint_name], request)
+        if constraint_name is not None
+        else []
+    )
+    predicate_by_clause: Dict[int, Predicate] = {}
+    # extract_predicates walks the same conjunct list in order; rebuild the
+    # association clause-by-clause for suggestion lookup.
+    for clause in clause_exprs:
+        for predicate in extract_predicates(clause, request):
+            predicate_by_clause[id(clause)] = predicate
+            break
+
+    for clause in clause_exprs:
+        satisfied = sum(1 for ad in pool if _clause_satisfied(clause, request, ad))
+        suggestion = None
+        if satisfied == 0:
+            predicate = predicate_by_clause.get(id(clause))
+            if predicate is not None:
+                suggestion = _value_census(predicate, pool)
+        clauses.append(
+            ClauseReport(
+                expression=unparse(clause),
+                satisfied=satisfied,
+                total=len(pool),
+                suggestion=suggestion,
+            )
+        )
+
+    for ad in pool:
+        if constraint_name is None or is_true(
+            request.evaluate(constraint_name, other=ad)
+        ):
+            full_matches += 1
+            if constraint_holds(ad, request, policy):
+                bilateral += 1
+            else:
+                rejected_by_policy += 1
+
+    owner = request.evaluate("Owner")
+    job_id = request.evaluate("JobId")
+    summary = "request"
+    if isinstance(owner, str):
+        summary = f"job {job_id} of {owner}" if isinstance(job_id, int) else f"request of {owner}"
+    return Diagnosis(
+        request_summary=summary,
+        pool_size=len(pool),
+        clauses=clauses,
+        full_constraint_matches=full_matches,
+        bilateral_matches=bilateral,
+        rejected_by_provider_policy=rejected_by_policy,
+    )
+
+
+def is_unsatisfiable(
+    request: ClassAd, pool: Sequence[ClassAd], policy: MatchPolicy = DEFAULT_POLICY
+) -> bool:
+    """True iff no ad in *pool* can bilaterally match *request* — the
+    Section 5 "constraints which can never be satisfied" detector."""
+    return diagnose(request, pool, policy).never_matches
+
+
+def pool_attribute_census(
+    pool: Sequence[ClassAd], attrs: Sequence[str]
+) -> Dict[str, Counter]:
+    """Value distribution per attribute — "discovering hidden
+    characteristics of a pool" (Section 5)."""
+    out: Dict[str, Counter] = {}
+    for attr in attrs:
+        census: Counter = Counter()
+        for ad in pool:
+            value = ad.evaluate(attr)
+            if is_string(value) or is_number(value) or isinstance(value, bool):
+                census[value] += 1
+            else:
+                census["<undefined>"] += 1
+        out[attr] = census
+    return out

@@ -1,0 +1,174 @@
+"""Gangmatching: multilateral matching / co-allocation — S20 in DESIGN.md.
+
+Section 3.1 motivates it ("classads ... can be arbitrarily nested,
+leading to a natural language for expressing resource aggregates or
+co-allocation requests") and Section 5 names it future work ("Group
+matching may be used to both boost matchmaking throughput and service
+co-allocation requests").
+
+A *gang request* extends a customer ad with an ordered list of **ports**,
+each a sub-request with its own Constraint and Rank.  Ports are matched
+in order; when port *i* is being matched, the ads already bound to
+earlier ports are visible as nested classads under their labels, so a
+later port's constraint can correlate with an earlier binding::
+
+    cpu port:      other.Type == "Machine" && other.Arch == "INTEL"
+    license port:  other.Type == "License" && other.App == "run_sim"
+                   && other.Host == cpu.Name      # same machine!
+
+Matching is bilateral at every port: the candidate's own Constraint is
+evaluated against the request (with current bindings visible), so a
+license server can still say ``member(other.Owner, AllowedUsers)``.
+
+The search is depth-first with per-port Rank ordering and backtracking,
+which handles the scarce-resource interleavings a greedy binder misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..classads import ClassAd, Expr, is_true, parse, rank_value
+from .match import DEFAULT_POLICY, MatchPolicy
+
+
+@dataclass
+class Port:
+    """One slot of a gang request."""
+
+    label: str
+    constraint: str  # classad expression source
+    rank: str = "0"
+
+    def __post_init__(self):
+        self._constraint_expr: Expr = parse(self.constraint)
+        self._rank_expr: Expr = parse(self.rank)
+
+
+@dataclass
+class GangRequest:
+    """A co-allocation request: base attributes plus ordered ports."""
+
+    base: ClassAd
+    ports: List[Port]
+
+    def __post_init__(self):
+        labels = [p.label.lower() for p in self.ports]
+        if len(set(labels)) != len(labels):
+            raise ValueError("port labels must be unique")
+        for port in self.ports:
+            if port.label in self.base:
+                raise ValueError(
+                    f"port label {port.label!r} collides with a base attribute"
+                )
+
+
+@dataclass
+class GangMatch:
+    """A successful co-allocation: one provider ad per port label."""
+
+    request: GangRequest
+    bindings: Dict[str, ClassAd]
+    total_rank: float
+
+    def provider(self, label: str) -> ClassAd:
+        return self.bindings[label]
+
+
+@dataclass
+class GangStats:
+    """Search effort accounting (the E9 benchmark reports these)."""
+
+    nodes_explored: int = 0
+    candidates_evaluated: int = 0
+    backtracks: int = 0
+
+
+def _working_ad(request: GangRequest, bindings: Dict[str, ClassAd]) -> ClassAd:
+    """The request as seen by candidates: base + bound ports nested in."""
+    working = request.base.copy()
+    for label, ad in bindings.items():
+        working[label] = ad
+    return working
+
+
+def gang_match(
+    request: GangRequest,
+    providers: Sequence[ClassAd],
+    policy: MatchPolicy = DEFAULT_POLICY,
+    stats: Optional[GangStats] = None,
+) -> Optional[GangMatch]:
+    """Find a full assignment of providers to ports, or None.
+
+    Each provider may serve at most one port.  Candidates at each port
+    are tried best-Rank-first; the first complete assignment found is
+    returned (rank-greedy with backtracking, not a global optimum —
+    matching the matchmaker's hint semantics).
+    """
+    stats = stats if stats is not None else GangStats()
+
+    def candidates_for(port: Port, bindings: Dict[str, ClassAd], used: set) -> List[Tuple[float, int, ClassAd]]:
+        working = _working_ad(request, bindings)
+        found = []
+        for index, provider in enumerate(providers):
+            if id(provider) in used:
+                continue
+            stats.candidates_evaluated += 1
+            # Port-side constraint, with bindings visible via `working`.
+            if not is_true(working.eval_expr(port._constraint_expr, other=provider)):
+                continue
+            # Provider-side constraint (bilateral, as always).
+            name = policy.constraint_of(provider)
+            if name is not None and not is_true(
+                provider.evaluate(name, other=working)
+            ):
+                continue
+            rank = rank_value(working.eval_expr(port._rank_expr, other=provider))
+            found.append((rank, -index, provider))
+        found.sort(reverse=True)
+        return found
+
+    def solve(i: int, bindings: Dict[str, ClassAd], used: set) -> Optional[Dict[str, ClassAd]]:
+        if i == len(request.ports):
+            return dict(bindings)
+        stats.nodes_explored += 1
+        port = request.ports[i]
+        for rank, _, provider in candidates_for(port, bindings, used):
+            bindings[port.label] = provider
+            used.add(id(provider))
+            solution = solve(i + 1, bindings, used)
+            if solution is not None:
+                return solution
+            del bindings[port.label]
+            used.discard(id(provider))
+            stats.backtracks += 1
+        return None
+
+    solution = solve(0, {}, set())
+    if solution is None:
+        return None
+    total = 0.0
+    for port in request.ports:
+        working = _working_ad(request, {k: v for k, v in solution.items()})
+        total += rank_value(working.eval_expr(port._rank_expr, other=solution[port.label]))
+    return GangMatch(request=request, bindings=solution, total_rank=total)
+
+
+def gang_match_all(
+    requests: Sequence[GangRequest],
+    providers: Sequence[ClassAd],
+    policy: MatchPolicy = DEFAULT_POLICY,
+) -> List[Optional[GangMatch]]:
+    """Serve multiple gang requests; providers bound by earlier requests
+    are unavailable to later ones (one negotiation pass)."""
+    used: set = set()
+    results: List[Optional[GangMatch]] = []
+    for request in requests:
+        available = [p for p in providers if id(p) not in used]
+        match = gang_match(request, available, policy)
+        results.append(match)
+        if match is not None:
+            for provider in match.bindings.values():
+                used.add(id(provider))
+    return results

@@ -1,0 +1,149 @@
+"""The bilateral matching algorithm — S5 in DESIGN.md.
+
+Section 3.1: "The classads ... assume a matchmaking algorithm that
+considers a pair of ads to be incompatible unless their Constraint
+expressions both evaluate to true.  The Rank attributes [are] then used
+to choose among compatible matches: Among provider ads matching a given
+customer ad, the matchmaker chooses the one with the highest Rank value
+(non-integer values are treated as zero), breaking ties according to the
+provider's Rank value."
+
+The match is deliberately *symmetric* in the constraint check — the
+framework's distinguishing feature is that "service providers [may also]
+express constraints on the customers they are willing to serve".
+
+``undefined``/``error``-valued Constraints fail the match ("the match
+fails if the Constraint evaluates to undefined").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..classads import ClassAd, is_true, rank_value
+
+
+@dataclass(frozen=True)
+class MatchPolicy:
+    """Names of the protocol-defined attributes.
+
+    The advertising protocol "attaches a meaning to some attributes"
+    (Section 3.2); the paper's convention is ``Constraint``/``Rank``,
+    while deployed Condor spells the former ``Requirements``.  We accept
+    a primary name plus aliases so ads from either era match.
+    """
+
+    constraint_attrs: Tuple[str, ...] = ("Constraint", "Requirements")
+    rank_attr: str = "Rank"
+
+    def constraint_of(self, ad: ClassAd):
+        """The first present constraint attribute's name, or None."""
+        for name in self.constraint_attrs:
+            if name in ad:
+                return name
+        return None
+
+
+DEFAULT_POLICY = MatchPolicy()
+
+
+def constraint_holds(ad: ClassAd, other: ClassAd, policy: MatchPolicy = DEFAULT_POLICY) -> bool:
+    """True iff *ad*'s Constraint evaluates to ``true`` against *other*.
+
+    An ad with no constraint attribute imposes no requirements and always
+    accepts (an entity that publishes no Constraint is unconstrained).
+    """
+    name = policy.constraint_of(ad)
+    if name is None:
+        return True
+    return is_true(ad.evaluate(name, other=other))
+
+
+def constraints_satisfied(a: ClassAd, b: ClassAd, policy: MatchPolicy = DEFAULT_POLICY) -> bool:
+    """The symmetric compatibility predicate: both Constraints hold."""
+    return constraint_holds(a, b, policy) and constraint_holds(b, a, policy)
+
+
+def evaluate_rank(ad: ClassAd, other: ClassAd, policy: MatchPolicy = DEFAULT_POLICY) -> float:
+    """*ad*'s Rank of *other*, with non-numeric values mapped to 0."""
+    return rank_value(ad.evaluate(policy.rank_attr, other=other))
+
+
+@dataclass(frozen=True)
+class Match:
+    """The outcome of ranking one provider against one customer.
+
+    ``customer_rank`` orders candidates (higher is better);
+    ``provider_rank`` breaks ties; ``index`` is the provider's position
+    in the input sequence and breaks remaining ties deterministically.
+    """
+
+    customer: ClassAd = field(compare=False)
+    provider: ClassAd = field(compare=False)
+    customer_rank: float
+    provider_rank: float
+    index: int
+
+    @property
+    def sort_key(self) -> Tuple[float, float, int]:
+        # Negated index: earlier providers win final ties under max().
+        return (self.customer_rank, self.provider_rank, -self.index)
+
+
+def rank_candidates(
+    customer: ClassAd,
+    providers: Sequence[ClassAd],
+    policy: MatchPolicy = DEFAULT_POLICY,
+) -> List[Match]:
+    """All compatible providers for *customer*, best first.
+
+    Ordering: customer's Rank of the provider, then the provider's Rank
+    of the customer (the paper's tie-break), then input order.
+    """
+    matches = []
+    for index, provider in enumerate(providers):
+        if not constraints_satisfied(customer, provider, policy):
+            continue
+        matches.append(
+            Match(
+                customer=customer,
+                provider=provider,
+                customer_rank=evaluate_rank(customer, provider, policy),
+                provider_rank=evaluate_rank(provider, customer, policy),
+                index=index,
+            )
+        )
+    matches.sort(key=lambda m: m.sort_key, reverse=True)
+    return matches
+
+
+def best_match(
+    customer: ClassAd,
+    providers: Sequence[ClassAd],
+    policy: MatchPolicy = DEFAULT_POLICY,
+) -> Optional[Match]:
+    """The single best compatible provider, or None.
+
+    Unlike :func:`rank_candidates` this is a single pass without sorting
+    — it is the negotiation-cycle hot path (experiment E6).
+    """
+    best: Optional[Match] = None
+    for index, provider in enumerate(providers):
+        if not constraints_satisfied(customer, provider, policy):
+            continue
+        candidate = Match(
+            customer=customer,
+            provider=provider,
+            customer_rank=evaluate_rank(customer, provider, policy),
+            provider_rank=evaluate_rank(provider, customer, policy),
+            index=index,
+        )
+        if best is None or candidate.sort_key > best.sort_key:
+            best = candidate
+    return best
+
+
+def symmetric_match(a: ClassAd, b: ClassAd, policy: MatchPolicy = DEFAULT_POLICY) -> bool:
+    """Alias for :func:`constraints_satisfied` (paper terminology)."""
+    return constraints_satisfied(a, b, policy)

@@ -1,0 +1,310 @@
+"""The matchmaker service — S6 in DESIGN.md.
+
+"A designated matchmaking service (matchmaker) matches classads in a
+manner that satisfies the constraints specified in the respective
+advertisements and informs the relevant entities of the match.  The
+responsibility of the matchmaker then ceases with respect to the match."
+(Section 3.)
+
+Two layers live here:
+
+* :class:`Matchmaker` — the stateless match engine: given the current ad
+  collection it identifies matches; it retains *no state about matches*
+  (the paper's end-to-end argument), only the ads most recently
+  advertised to it, which are soft state refreshed by the advertising
+  protocol and fully reconstructible after a crash (experiment E1).
+* :func:`negotiation_cycle` — the pure algorithm of Section 4's
+  "negotiation cycle": serve submitters in fair-share order, pick the
+  best-ranked compatible resource for each request, honouring
+  Rank-driven preemption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..classads import ClassAd, is_true
+from .accounting import Accountant
+from .index import ProviderIndex
+from .match import (
+    DEFAULT_POLICY,
+    Match,
+    MatchPolicy,
+    best_match,
+    constraints_satisfied,
+    evaluate_rank,
+    rank_candidates,
+)
+from .query import one_way_match, select
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One negotiated match: a request ad paired with a provider ad.
+
+    ``preempts`` names the submitter currently occupying the provider
+    when the match is preemptive, else None.
+    """
+
+    submitter: str
+    request: ClassAd
+    provider: ClassAd
+    customer_rank: float
+    provider_rank: float
+    preempts: Optional[str] = None
+
+
+@dataclass
+class CycleStats:
+    """Bookkeeping for one negotiation cycle (feeds E6's benchmarks)."""
+
+    submitters_considered: int = 0
+    requests_considered: int = 0
+    matched: int = 0
+    preemptions: int = 0
+    constraint_evaluations_saved: int = 0  # by index pre-filtering
+
+
+def _availability(provider: ClassAd) -> str:
+    """Classify a provider: "available", "preemptable", or "unavailable".
+
+    Providers that do not advertise State are assumed available — the
+    matchmaker works with whatever schema the ads actually use
+    (semi-structured model: no schema is *required*).  Only Claimed
+    providers are preemption candidates; an Owner-state machine is its
+    owner's and is skipped outright.
+    """
+    state = provider.evaluate("State")
+    if not isinstance(state, str):
+        return "available"
+    lowered = state.lower()
+    if lowered in ("unclaimed", "available", "idle"):
+        return "available"
+    if lowered == "claimed":
+        return "preemptable"
+    return "unavailable"
+
+
+def _current_rank(provider: ClassAd) -> float:
+    """The provider's advertised rank of its current occupant.
+
+    Condor startds advertise ``CurrentRank`` while claimed so the
+    negotiator can decide preemption without the occupant's ad.
+    """
+    from ..classads import rank_value
+
+    return rank_value(provider.evaluate("CurrentRank"))
+
+
+def _current_owner(provider: ClassAd) -> Optional[str]:
+    owner = provider.evaluate("RemoteOwner")
+    return owner if isinstance(owner, str) else None
+
+
+def negotiation_cycle(
+    requests_by_submitter: Mapping[str, Sequence[ClassAd]],
+    providers: Sequence[ClassAd],
+    accountant: Optional[Accountant] = None,
+    policy: MatchPolicy = DEFAULT_POLICY,
+    allow_preemption: bool = True,
+    index: Optional[ProviderIndex] = None,
+    stats: Optional[CycleStats] = None,
+) -> List[Assignment]:
+    """Run one negotiation cycle and return the assignments.
+
+    Fair matching (Section 4) happens in two mechanisms, both driven by
+    the accountant: submitters are served in ascending effective-priority
+    order, *and* each submitter's matches in the first serving round are
+    capped at its fair-share "pie slice" of the available resources
+    (shares ∝ 1/effective-priority).  Remaining capacity is then handed
+    out unrestricted in priority order so no machine idles while work is
+    queued.  Ordering alone cannot yield factor-weighted shares — two
+    lock-step users would simply alternate whole cycles — which is why
+    deployed Condor spins the pie; we reproduce that.
+
+    For each request, the best compatible provider is chosen by
+    (customer Rank, provider Rank) per Section 3.1.  A claimed provider
+    may be matched only when preemption is allowed and the provider
+    ranks the new customer *strictly above* its advertised
+    ``CurrentRank`` — Section 4's "it is still interested in hearing
+    from higher priority customers".
+
+    The cycle only *identifies* matches; claiming is the parties' own
+    business (separation of matching and claiming).
+    """
+    stats = stats if stats is not None else CycleStats()
+    submitters = list(requests_by_submitter.keys())
+    if accountant is not None:
+        submitters = accountant.negotiation_order(submitters)
+    else:
+        submitters.sort()
+
+    taken: set = set()  # ids of providers already matched this cycle
+    assignments: List[Assignment] = []
+
+    def try_match(submitter: str, request: ClassAd) -> bool:
+        stats.requests_considered += 1
+        if index is not None:
+            pool = index.candidates_for(request, policy)
+            stats.constraint_evaluations_saved += len(providers) - len(pool)
+        else:
+            pool = providers
+        chosen: Optional[Tuple[Match, Optional[str]]] = None
+        for pid, provider in enumerate(pool):
+            if id(provider) in taken:
+                continue
+            preempts: Optional[str] = None
+            availability = _availability(provider)
+            if availability == "unavailable":
+                continue
+            if availability == "preemptable":
+                if not allow_preemption:
+                    continue
+                preempts = _current_owner(provider) or "<unknown>"
+            if not constraints_satisfied(request, provider, policy):
+                continue
+            provider_rank = evaluate_rank(provider, request, policy)
+            if preempts is not None and provider_rank <= _current_rank(provider):
+                continue  # not strictly preferred: no preemption
+            candidate = Match(
+                customer=request,
+                provider=provider,
+                customer_rank=evaluate_rank(request, provider, policy),
+                provider_rank=provider_rank,
+                index=pid,
+            )
+            if chosen is None or candidate.sort_key > chosen[0].sort_key:
+                chosen = (candidate, preempts)
+        if chosen is None:
+            return False
+        match, preempts = chosen
+        taken.add(id(match.provider))
+        assignments.append(
+            Assignment(
+                submitter=submitter,
+                request=request,
+                provider=match.provider,
+                customer_rank=match.customer_rank,
+                provider_rank=match.provider_rank,
+                preempts=preempts,
+            )
+        )
+        stats.matched += 1
+        if preempts is not None:
+            stats.preemptions += 1
+        return True
+
+    # Pie slices: cap the first round at each submitter's fair share of
+    # the currently matchable capacity.
+    quotas: Dict[str, int] = {}
+    if accountant is not None and len(submitters) > 1:
+        matchable = sum(1 for p in providers if _availability(p) != "unavailable")
+        shares = accountant.fair_shares(submitters)
+        quotas = {
+            s: max(1, int(round(shares[s] * matchable))) for s in submitters
+        }
+
+    leftovers: List[Tuple[str, List[ClassAd]]] = []
+    for submitter in submitters:
+        stats.submitters_considered += 1
+        quota = quotas.get(submitter)
+        served = 0
+        remaining: List[ClassAd] = []
+        for position, request in enumerate(requests_by_submitter[submitter]):
+            if quota is not None and served >= quota:
+                remaining = list(requests_by_submitter[submitter][position:])
+                break
+            if try_match(submitter, request):
+                served += 1
+        if remaining:
+            leftovers.append((submitter, remaining))
+
+    # Spin the pie: hand unused capacity to still-hungry submitters in
+    # priority order, unrestricted.
+    for submitter, requests in leftovers:
+        for request in requests:
+            try_match(submitter, request)
+    return assignments
+
+
+class Matchmaker:
+    """An ad collection plus the matching algorithms — the paper's service.
+
+    The matchmaker holds only *advertisements* (soft state): entities
+    re-advertise periodically and ads expire, so a restarted matchmaker
+    reconverges without recovery protocol (experiments E1/E2 exercise
+    this through the simulated collector, which wraps this class).
+
+    No match state is retained: ``match`` and ``negotiate`` compute from
+    the current ads and return; claiming is end-to-end between the
+    matched parties.
+    """
+
+    def __init__(self, policy: MatchPolicy = DEFAULT_POLICY):
+        self.policy = policy
+        self._ads: Dict[str, ClassAd] = {}
+
+    # -- advertising side -------------------------------------------------
+
+    def advertise(self, name: str, ad: ClassAd) -> None:
+        """Insert or refresh the ad advertised under *name*."""
+        self._ads[name] = ad
+
+    def withdraw(self, name: str) -> None:
+        """Remove an ad; absent names are ignored (idempotent)."""
+        self._ads.pop(name, None)
+
+    def clear(self) -> None:
+        """Forget everything — simulates a matchmaker crash/restart."""
+        self._ads.clear()
+
+    def ads(self, constraint: Optional[str] = None) -> List[ClassAd]:
+        """All ads, optionally filtered by a one-way constraint."""
+        ads = list(self._ads.values())
+        if constraint is None:
+            return ads
+        return select(ads, constraint)
+
+    def __len__(self) -> int:
+        return len(self._ads)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ads
+
+    # -- matching side ------------------------------------------------------
+
+    def match(self, customer: ClassAd, constraint: Optional[str] = None) -> Optional[Match]:
+        """Best provider for a single customer ad among stored ads."""
+        providers = self.ads(constraint)
+        return best_match(customer, providers, self.policy)
+
+    def matches(self, customer: ClassAd, constraint: Optional[str] = None) -> List[Match]:
+        """All compatible providers for *customer*, best first."""
+        return rank_candidates(customer, self.ads(constraint), self.policy)
+
+    def query(self, constraint: str) -> List[ClassAd]:
+        """One-way matching over the stored ads (status tools)."""
+        return select(self.ads(), constraint)
+
+    def negotiate(
+        self,
+        requests_by_submitter: Mapping[str, Sequence[ClassAd]],
+        provider_constraint: str = 'Type == "Machine"',
+        accountant: Optional[Accountant] = None,
+        allow_preemption: bool = True,
+        use_index: bool = False,
+        stats: Optional[CycleStats] = None,
+    ) -> List[Assignment]:
+        """One negotiation cycle over the stored provider ads."""
+        providers = self.ads(provider_constraint)
+        index = ProviderIndex(providers) if use_index else None
+        return negotiation_cycle(
+            requests_by_submitter,
+            providers,
+            accountant=accountant,
+            policy=self.policy,
+            allow_preemption=allow_preemption,
+            index=index,
+            stats=stats,
+        )

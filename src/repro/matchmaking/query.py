@@ -1,0 +1,66 @@
+"""One-way matching — the query side of the framework.
+
+Section 4: "One-way matching protocols are used to find all objects
+matching a given pattern.  For example, there are tools to check on the
+status of job queues and browse existing resources."
+
+Two styles are provided:
+
+* :func:`select` — the ``condor_status -constraint`` style: a bare
+  expression evaluated with each target ad as ``self``.
+* :func:`one_way_match` — a query *classad* whose Constraint is checked
+  against each target (only the query's constraint matters; the target's
+  constraint is not consulted — that is what makes it one-way).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from ..classads import ClassAd, Expr, is_true, parse
+from .match import DEFAULT_POLICY, MatchPolicy, constraint_holds
+
+
+def select(
+    ads: Iterable[ClassAd],
+    constraint: Union[str, Expr],
+    limit: Optional[int] = None,
+) -> List[ClassAd]:
+    """All ads for which *constraint* evaluates to true (ad as ``self``).
+
+    Ads for which the constraint is undefined or error are excluded, per
+    the matchmaking rule that only ``true`` matches.
+    """
+    expr = parse(constraint) if isinstance(constraint, str) else constraint
+    found: List[ClassAd] = []
+    for ad in ads:
+        if is_true(ad.eval_expr(expr)):
+            found.append(ad)
+            if limit is not None and len(found) >= limit:
+                break
+    return found
+
+
+def one_way_match(
+    query: ClassAd,
+    ads: Iterable[ClassAd],
+    policy: MatchPolicy = DEFAULT_POLICY,
+    limit: Optional[int] = None,
+) -> List[ClassAd]:
+    """All ads satisfying the *query* ad's Constraint.
+
+    The query ad may carry auxiliary attributes its Constraint refers to
+    via ``self.``; the target is ``other``.
+    """
+    found: List[ClassAd] = []
+    for ad in ads:
+        if constraint_holds(query, ad, policy):
+            found.append(ad)
+            if limit is not None and len(found) >= limit:
+                break
+    return found
+
+
+def count_matching(ads: Iterable[ClassAd], constraint: Union[str, Expr]) -> int:
+    """Number of ads satisfying *constraint* (status-tool helper)."""
+    return len(select(ads, constraint))

@@ -1,0 +1,114 @@
+"""The paper's literal figures, as reusable library assets.
+
+Figures 1 and 2 of Raman, Livny & Solomon (HPDC'98) are the canonical
+workstation and job classads; tests, examples and the F1/F2 benchmarks
+all reproduce behaviour against these exact ads, so they live here in one
+place.  The numeric values are those printed in the paper (DayTime and
+QDate values are representative: the paper elides them with comments).
+"""
+
+from __future__ import annotations
+
+from .classads import ClassAd
+
+#: Figure 1 — "A classad describing a workstation" (leonardo.cs.wisc.edu).
+#: The Constraint encodes the four-tier owner policy narrated in
+#: Section 4: never serve untrusted users; always serve the research
+#: group; serve friends only when the workstation is idle (keyboard
+#: untouched >15 min, load <0.3); serve everyone else only at night
+#: (before 8am or after 6pm).
+FIGURE1_MACHINE = """[
+  Type          = "Machine";
+  Activity      = "Idle";
+  DayTime       = 36107;        // current time, seconds since midnight
+  KeyboardIdle  = 1432;         // seconds
+  Disk          = 323496;       // kbytes
+  Memory        = 64;           // megabytes
+  State         = "Unclaimed";
+  LoadAvg       = 0.042969;
+  Mips          = 104;
+  Arch          = "INTEL";
+  OpSys         = "SOLARIS251";
+  KFlops        = 21893;
+  Name          = "leonardo.cs.wisc.edu";
+  ResearchGroup = { "raman", "miron", "solomon", "jbasney" };
+  Friends       = { "tannenba", "wright" };
+  Untrusted     = { "rival", "riffraff" };
+  Rank          = member(other.Owner, ResearchGroup) * 10
+                  + member(other.Owner, Friends);
+  Constraint    = !member(other.Owner, Untrusted) &&
+                  (Rank >= 10 ? true :
+                   Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 :
+                   DayTime < 8*60*60 || DayTime > 18*60*60)
+]"""
+
+#: The Constraint exactly as printed in Figure 1.  Under C precedence
+#: (`?:` binding loosest, which this implementation follows) the printed
+#: expression parses as ``(!member(...) && Rank >= 10) ? ... `` — which
+#: admits *untrusted* users through the at-night branch, contradicting
+#: Section 4's narration that rival and riffraff are never served.
+#: FIGURE1_MACHINE above adds the parentheses the narration implies; this
+#: constant preserves the literal text so the discrepancy stays testable
+#: (see tests/classads/test_paper_figures.py and EXPERIMENTS.md, note F1).
+FIGURE1_CONSTRAINT_LITERAL = """
+    !member(other.Owner, Untrusted) && Rank >= 10 ? true :
+    Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 :
+    DayTime < 8*60*60 || DayTime > 18*60*60
+"""
+
+#: Figure 2 — "A classad describing a submitted job" (raman's simulation).
+FIGURE2_JOB = """[
+  Type               = "Job";
+  QDate              = 886799469;  // submit time, secs past 1/1/1970
+  CompletionDate     = 0;
+  Owner              = "raman";
+  Cmd                = "run_sim";
+  WantRemoteSyscalls = 1;
+  WantCheckpoint     = 1;
+  Iwd                = "/usr/raman/sim2";
+  Args               = "-Q 17 3200 10";
+  Memory             = 31;
+  Rank               = KFlops / 1E3 + other.Memory / 32;
+  Constraint         = other.Type == "Machine" && Arch == "INTEL" &&
+                       OpSys == "SOLARIS251" && Disk >= 10000 &&
+                       other.Memory >= self.Memory
+]"""
+
+
+def figure1_machine() -> ClassAd:
+    """A fresh copy of the Figure 1 workstation ad."""
+    return ClassAd.parse(FIGURE1_MACHINE)
+
+
+def figure2_job() -> ClassAd:
+    """A fresh copy of the Figure 2 job ad."""
+    return ClassAd.parse(FIGURE2_JOB)
+
+
+def figure1_machine_at(
+    daytime: int,
+    keyboard_idle: int = 1432,
+    load_avg: float = 0.042969,
+) -> ClassAd:
+    """The Figure 1 machine with its dynamic state overridden.
+
+    Used by the F1 experiment to sweep the policy over time-of-day,
+    keyboard activity and load average.
+    """
+    ad = figure1_machine()
+    ad["DayTime"] = daytime
+    ad["KeyboardIdle"] = keyboard_idle
+    ad["LoadAvg"] = load_avg
+    return ad
+
+
+def job_from(owner: str, memory: int = 31) -> ClassAd:
+    """A Figure 2-shaped job submitted by *owner*.
+
+    The F1 policy matrix exercises the machine's Constraint against jobs
+    from research-group members, friends, strangers, and untrusted users.
+    """
+    ad = figure2_job()
+    ad["Owner"] = owner
+    ad["Memory"] = memory
+    return ad

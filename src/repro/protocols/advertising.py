@@ -1,0 +1,145 @@
+"""The advertising protocol — S9 in DESIGN.md.
+
+Section 3: the advertising protocol "defines basic conventions regarding
+what a matchmaker expects to find in a classad if the ad is to be
+included in the matchmaking process, and how the matchmaker expects to
+receive the ad".  Section 4 gives Condor's conventions: "every classad
+should include expressions named Constraint and Rank ... the advertising
+parties [must] include contact addresses with their ads", and an RA may
+include an authorization ticket.
+
+This module provides:
+
+* :func:`validate_ad` — the convention check a matchmaker applies before
+  admitting an ad;
+* :class:`AdStore` — the soft-state ad collection: ads carry lifetimes
+  and expire unless refreshed, which is precisely why a crashed
+  matchmaker recovers by doing nothing (experiment E1) and why stale ads
+  are bounded by the advertising period (experiment E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..classads import ClassAd
+
+#: Condor's default advertising interval (seconds): RAs/CAs re-send their
+#: ads on this period, and the matchmaker keeps them ~3 periods.
+DEFAULT_ADVERTISING_INTERVAL = 300.0
+DEFAULT_AD_LIFETIME = 3 * DEFAULT_ADVERTISING_INTERVAL
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    ok: bool
+    problems: Tuple[str, ...] = ()
+
+
+def validate_ad(
+    ad: ClassAd,
+    require_constraint: bool = True,
+    require_contact: bool = True,
+) -> ValidationResult:
+    """Check *ad* against the advertising protocol conventions.
+
+    The check is deliberately shallow — the semi-structured model means
+    the matchmaker imposes *conventions*, not a schema.  Missing Rank is
+    tolerated (it defaults to 0 in ranking); a missing Constraint or
+    contact address makes the ad unusable for two-way matchmaking.
+    """
+    problems: List[str] = []
+    if require_constraint and ("Constraint" not in ad and "Requirements" not in ad):
+        problems.append("no Constraint (or Requirements) attribute")
+    if require_contact and "ContactAddress" not in ad:
+        problems.append("no ContactAddress attribute")
+    if "Type" not in ad:
+        problems.append("no Type attribute")
+    return ValidationResult(ok=not problems, problems=tuple(problems))
+
+
+@dataclass
+class StoredAd:
+    """An admitted advertisement plus its soft-state bookkeeping."""
+
+    name: str
+    ad: ClassAd
+    received_at: float
+    expires_at: float
+    sequence: int
+
+
+class AdStore:
+    """Soft-state advertisement store keyed by advertised name.
+
+    Semantics:
+
+    * re-advertisement under the same name replaces the stored ad and
+      renews its lifetime;
+    * out-of-order delivery is tolerated: an advertisement with a
+      sequence number older than the stored one is ignored (the network
+      substrate can reorder messages);
+    * ads past their lifetime are reaped by :meth:`expire`.
+    """
+
+    def __init__(self):
+        self._store: Dict[str, StoredAd] = {}
+
+    def insert(
+        self,
+        name: str,
+        ad: ClassAd,
+        now: float,
+        lifetime: float = DEFAULT_AD_LIFETIME,
+        sequence: int = 0,
+    ) -> bool:
+        """Admit/refresh an ad; False when dropped as out-of-order."""
+        existing = self._store.get(name)
+        if existing is not None and sequence < existing.sequence:
+            return False
+        self._store[name] = StoredAd(
+            name=name,
+            ad=ad,
+            received_at=now,
+            expires_at=now + lifetime,
+            sequence=sequence,
+        )
+        return True
+
+    def remove(self, name: str) -> bool:
+        return self._store.pop(name, None) is not None
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def expire(self, now: float) -> List[str]:
+        """Reap expired ads; returns the reaped names."""
+        dead = [name for name, rec in self._store.items() if rec.expires_at <= now]
+        for name in dead:
+            del self._store[name]
+        return dead
+
+    def get(self, name: str) -> Optional[ClassAd]:
+        rec = self._store.get(name)
+        return rec.ad if rec is not None else None
+
+    def age_of(self, name: str, now: float) -> Optional[float]:
+        """Seconds since the stored ad was received (its staleness)."""
+        rec = self._store.get(name)
+        return (now - rec.received_at) if rec is not None else None
+
+    def ads(self) -> List[ClassAd]:
+        return [rec.ad for rec in self._store.values()]
+
+    def records(self) -> List[StoredAd]:
+        return list(self._store.values())
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._store
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store)

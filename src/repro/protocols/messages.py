@@ -1,0 +1,119 @@
+"""Message types exchanged by the matchmaking protocols — S9–S11.
+
+Every wire interaction in Figure 3 has a message type here:
+
+* step 1 — :class:`Advertisement` (entity → matchmaker),
+* step 3 — :class:`MatchNotification` (matchmaker → both entities),
+* step 4 — :class:`ClaimRequest` / :class:`ClaimResponse` and
+  :class:`ReleaseNotice` (customer ↔ provider, *not* via the matchmaker).
+
+Messages are plain frozen dataclasses; the simulated network
+(:mod:`repro.sim.network`) delivers them with latency/jitter/loss, which
+is all the "distribution" the protocols are claimed robust against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..classads import ClassAd
+from .tickets import Ticket
+
+_sequence = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Monotone message ids, for tracing and duplicate suppression."""
+    return next(_sequence)
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: sender/recipient are contact addresses (strings)."""
+
+    sender: str
+    recipient: str
+
+
+@dataclass(frozen=True)
+class Advertisement(Message):
+    """Step 1: a classad sent to the matchmaker.
+
+    ``name`` is the advertising key (re-advertisement under the same name
+    refreshes the stored ad); ``lifetime`` is how long the matchmaker
+    should retain the ad without refresh (soft state).
+    """
+
+    name: str
+    ad: ClassAd
+    lifetime: float
+    sequence: int = field(default_factory=next_message_id)
+
+
+@dataclass(frozen=True)
+class Withdrawal(Message):
+    """Graceful removal of an advertisement (e.g. agent shutting down)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class MatchNotification(Message):
+    """Step 3: "the matchmaker ... sends them the matching ads".
+
+    Both parties receive the *other* party's ad and the other party's
+    contact address; the customer additionally receives the provider's
+    authorization ticket (Section 4) and an optional session key for the
+    challenge-response handshake (Section 3.2).
+    """
+
+    peer_address: str
+    peer_ad: ClassAd
+    my_ad: ClassAd  # the ad the matchmaker matched for *this* recipient
+    ticket: Optional[Ticket] = None
+    session_key: Optional[bytes] = None
+    match_id: int = field(default_factory=next_message_id)
+
+
+@dataclass(frozen=True)
+class ClaimRequest(Message):
+    """Step 4: the customer contacts the provider directly.
+
+    Carries the customer's *current* ad (which may be newer than the one
+    that matched) and the ticket from the notification.
+    """
+
+    customer_ad: ClassAd
+    ticket: Optional[Ticket]
+    match_id: int
+    challenge_response: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ClaimResponse(Message):
+    """The provider's verdict on a claim request."""
+
+    match_id: int
+    accepted: bool
+    reason: str = ""
+    challenge: Optional[bytes] = None  # set when demanding a handshake
+
+
+@dataclass(frozen=True)
+class ReleaseNotice(Message):
+    """The customer relinquishes a claim ("relinquishes the claim, and
+    the RA advertises itself as unclaimed" — Section 4)."""
+
+    match_id: int
+
+
+@dataclass(frozen=True)
+class EvictionNotice(Message):
+    """The provider terminates a running claim (owner returned, or a
+    higher-Rank customer preempted this one)."""
+
+    match_id: int
+    reason: str
+    checkpointed: bool = False

@@ -1,0 +1,115 @@
+"""The matchmaking (notification) protocol — S10 in DESIGN.md.
+
+Section 3.2: "After the matching phase, the matchmaker invokes a
+matchmaking protocol to notify the two parties that were matched and
+sends them the matching ads.  The matchmaking protocol could also
+include the generation and hand-off of a session key for authentication
+and security purposes."
+
+This module turns an :class:`~repro.matchmaking.matchmaker.Assignment`
+into the pair of :class:`~repro.protocols.messages.MatchNotification`
+messages of Figure 3's step 3.  Contact addresses and tickets are read
+from the matched ads per the Section 4 conventions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Tuple
+
+from ..classads import ClassAd
+from .messages import MatchNotification, next_message_id
+from .tickets import Ticket
+
+
+def contact_address(ad: ClassAd) -> Optional[str]:
+    """The advertised contact address, or None."""
+    value = ad.evaluate("ContactAddress")
+    return value if isinstance(value, str) else None
+
+
+def ticket_from_ad(ad: ClassAd) -> Optional[Ticket]:
+    """Reconstruct the authorization ticket embedded in a provider ad.
+
+    The RA embeds its ticket as a nested record ``AuthTicket = [ Issuer
+    = ...; Serial = ...; Token = ... ]``; the matchmaker forwards it
+    opaquely to the customer (it never inspects or stores it — the
+    end-to-end argument).
+    """
+    record = ad.evaluate("AuthTicket")
+    if not isinstance(record, ClassAd):
+        return None
+    issuer = record.evaluate("Issuer")
+    serial = record.evaluate("Serial")
+    token = record.evaluate("Token")
+    if not (isinstance(issuer, str) and isinstance(serial, int) and isinstance(token, str)):
+        return None
+    return Ticket(issuer=issuer, serial=serial, token=token)
+
+
+def embed_ticket(ad: ClassAd, ticket: Ticket) -> None:
+    """Embed *ticket* into *ad* as the ``AuthTicket`` record."""
+    ad["AuthTicket"] = {
+        "Issuer": ticket.issuer,
+        "Serial": ticket.serial,
+        "Token": ticket.token,
+    }
+
+
+def make_session_key(match_id: int, customer_ad: ClassAd, provider_ad: ClassAd) -> bytes:
+    """Derive a per-match session key for the optional handshake.
+
+    Deterministic over the match id and both parties' names so the
+    simulation reproduces bit-for-bit; unguessable to third parties in
+    the threat model the paper sketches (the matchmaker is trusted).
+    """
+    material = "|".join(
+        [
+            str(match_id),
+            str(customer_ad.evaluate("Owner")),
+            str(provider_ad.evaluate("Name")),
+        ]
+    )
+    return hashlib.sha256(material.encode()).digest()
+
+
+def build_notifications(
+    matchmaker_address: str,
+    customer_ad: ClassAd,
+    provider_ad: ClassAd,
+    with_session_key: bool = False,
+) -> Tuple[MatchNotification, MatchNotification]:
+    """The (to-customer, to-provider) notification pair for one match.
+
+    Raises ValueError when either ad lacks a contact address — the
+    advertising protocol requires one, so the matchmaker should never
+    have admitted such an ad.
+    """
+    customer_addr = contact_address(customer_ad)
+    provider_addr = contact_address(provider_ad)
+    if customer_addr is None or provider_addr is None:
+        raise ValueError("matched ad lacks a ContactAddress")
+    match_id = next_message_id()
+    ticket = ticket_from_ad(provider_ad)
+    key = make_session_key(match_id, customer_ad, provider_ad) if with_session_key else None
+    to_customer = MatchNotification(
+        sender=matchmaker_address,
+        recipient=customer_addr,
+        peer_address=provider_addr,
+        peer_ad=provider_ad,
+        my_ad=customer_ad,
+        ticket=ticket,
+        session_key=key,
+        match_id=match_id,
+    )
+    to_provider = MatchNotification(
+        sender=matchmaker_address,
+        recipient=provider_addr,
+        peer_address=customer_addr,
+        peer_ad=customer_ad,
+        my_ad=provider_ad,
+        ticket=None,  # the provider already owns its ticket
+        session_key=key,
+        match_id=match_id,
+    )
+    return to_customer, to_provider

@@ -1,0 +1,156 @@
+"""Discrete-event simulation engine — S12 in DESIGN.md.
+
+A minimal, deterministic DES kernel: a binary-heap event queue keyed by
+(time, sequence), so simultaneous events fire in schedule order and every
+run is exactly reproducible.  This is the substrate on which the
+"distributed" system runs; the paper's campus pool becomes agents
+exchanging messages over :mod:`repro.sim.network` on this clock.
+
+Design notes (per the HPC guides: simple first, measured later): event
+dispatch is a plain callback call — profiling full-pool runs shows >95%
+of time in classad evaluation, not the kernel, so no further cleverness
+is warranted here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Returned by schedule(); lets the caller cancel the event."""
+
+    time: float
+    sequence: int
+
+
+class Simulator:
+    """The simulation clock and event queue.
+
+    Typical agent code::
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda: print("at t=5"))
+        sim.every(60.0, advertise)          # periodic timer
+        sim.run_until(3600.0)
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+        self._heap: List = []  # (time, seq, callback) — callback None if cancelled
+        self._sequence = itertools.count()
+        self._cancelled: set = set()
+        self.events_processed = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* after *delay* simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Run *callback* at absolute simulated *time*."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past ({time} < {self.now})")
+        seq = next(self._sequence)
+        heapq.heappush(self._heap, (time, seq, callback))
+        return EventHandle(time, seq)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event; firing a cancelled event is a no-op."""
+        self._cancelled.add(handle.sequence)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        start_delay: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Run *callback* every *interval* seconds until stopped.
+
+        The first firing happens after ``start_delay`` (default: one full
+        interval), matching how Condor daemons start their timers.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        task = PeriodicTask(self, interval, callback)
+        task._arm(interval if start_delay is None else start_delay)
+        return task
+
+    # -- execution ---------------------------------------------------------
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None."""
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, seq, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(seq)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Process one event; False when the queue is empty."""
+        when = self.peek_time()
+        if when is None:
+            return False
+        time, seq, callback = heapq.heappop(self._heap)
+        if time < self.now:
+            raise AssertionError("causality violation: event in the past")
+        self.now = time
+        self.events_processed += 1
+        callback()
+        return True
+
+    def run_until(self, time: float) -> None:
+        """Process events up to and including simulated *time*."""
+        while True:
+            when = self.peek_time()
+            if when is None or when > time:
+                break
+            self.step()
+        self.now = max(self.now, time)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains (or *max_events*)."""
+        processed = 0
+        while self.step():
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        return processed
+
+    def pending(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for _, seq, _ in self._heap if seq not in self._cancelled)
+
+
+class PeriodicTask:
+    """A repeating timer created by :meth:`Simulator.every`."""
+
+    def __init__(self, sim: Simulator, interval: float, callback: Callable[[], None]):
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.stopped = False
+        self.firings = 0
+        self._handle: Optional[EventHandle] = None
+
+    def _arm(self, delay: float) -> None:
+        self._handle = self.sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self.stopped:
+            return
+        self.firings += 1
+        self.callback()
+        if not self.stopped:  # the callback may have stopped us
+            self._arm(self.interval)
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self._handle is not None:
+            self.sim.cancel(self._handle)

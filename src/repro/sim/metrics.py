@@ -1,0 +1,161 @@
+"""Metrics for the experiments — part of S23 in DESIGN.md.
+
+High-throughput computing measures itself in sustained work over long
+horizons (the paper's "TIPYs", trillions of instructions per year), so
+the central metrics are:
+
+* **goodput** — simulated CPU-seconds of work that contributed to a
+  completed job;
+* **badput** — CPU-seconds lost to evictions without checkpoint (work
+  that must be redone);
+* per-job **wait time** and **makespan**, and pool **utilization**.
+
+:class:`RunningStats` implements Welford's online algorithm so million-
+event runs never hold per-sample lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class RunningStats:
+    """Numerically stable online mean/variance/min/max."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "RunningStats(empty)"
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.3f}, "
+            f"sd={self.stdev:.3f}, min={self.minimum:.3f}, max={self.maximum:.3f})"
+        )
+
+
+@dataclass
+class PoolMetrics:
+    """Aggregated outcome of one pool simulation run."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    evictions: int = 0
+    evictions_checkpointed: int = 0
+    preemptions: int = 0
+    claims_attempted: int = 0
+    claims_rejected: int = 0
+    claim_rejections_by_reason: Dict[str, int] = field(default_factory=dict)
+    goodput: float = 0.0  # cpu-seconds retained
+    badput: float = 0.0  # cpu-seconds lost to eviction
+    wait_time: RunningStats = field(default_factory=RunningStats)
+    turnaround: RunningStats = field(default_factory=RunningStats)
+    match_latency: RunningStats = field(default_factory=RunningStats)
+
+    def record_claim_rejection(self, reason: str) -> None:
+        self.claims_rejected += 1
+        self.claim_rejections_by_reason[reason] = (
+            self.claim_rejections_by_reason.get(reason, 0) + 1
+        )
+
+    @property
+    def completion_rate(self) -> float:
+        if not self.jobs_submitted:
+            return 0.0
+        return self.jobs_completed / self.jobs_submitted
+
+    @property
+    def claim_rejection_rate(self) -> float:
+        if not self.claims_attempted:
+            return 0.0
+        return self.claims_rejected / self.claims_attempted
+
+    @property
+    def goodput_fraction(self) -> float:
+        total = self.goodput + self.badput
+        return self.goodput / total if total else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"jobs completed     : {self.jobs_completed}/{self.jobs_submitted}"
+            f" ({100 * self.completion_rate:.1f}%)",
+            f"claims             : {self.claims_attempted} attempted,"
+            f" {self.claims_rejected} rejected"
+            f" ({100 * self.claim_rejection_rate:.1f}%)",
+            f"evictions          : {self.evictions}"
+            f" ({self.evictions_checkpointed} with checkpoint)",
+            f"goodput / badput   : {self.goodput:.0f}s / {self.badput:.0f}s"
+            f" ({100 * self.goodput_fraction:.1f}% good)",
+            f"mean wait          : {self.wait_time.mean:.1f}s",
+            f"mean turnaround    : {self.turnaround.mean:.1f}s",
+        ]
+        if self.claim_rejections_by_reason:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.claim_rejections_by_reason.items())
+            )
+            lines.append(f"rejection reasons  : {reasons}")
+        return "\n".join(lines)
+
+
+@dataclass
+class UtilizationTracker:
+    """Integrates busy-machine count over time → pool utilization."""
+
+    capacity: int
+    _busy: int = 0
+    _last_time: float = 0.0
+    _busy_integral: float = 0.0
+
+    def advance(self, now: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        self._busy_integral += self._busy * (now - self._last_time)
+        self._last_time = now
+
+    def claim(self, now: float) -> None:
+        self.advance(now)
+        self._busy += 1
+        if self._busy > self.capacity:
+            raise ValueError("more claims than machines")
+
+    def release(self, now: float) -> None:
+        self.advance(now)
+        if self._busy == 0:
+            raise ValueError("release without claim")
+        self._busy -= 1
+
+    def utilization(self, now: float) -> float:
+        """Average fraction of the pool busy over [0, now]."""
+        self.advance(now)
+        if now <= 0 or self.capacity == 0:
+            return 0.0
+        return self._busy_integral / (now * self.capacity)

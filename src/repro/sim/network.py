@@ -1,0 +1,117 @@
+"""Simulated message network — S13 in DESIGN.md.
+
+The paper's substrate was a real campus network; what the matchmaking
+protocols are claimed robust against is its *misbehaviour*: delay,
+reordering, loss, and unreachable peers.  This network reproduces those
+behaviours deterministically:
+
+* each message is delivered after ``latency + U(0, jitter)`` seconds —
+  jitter makes reordering possible;
+* each message is independently dropped with probability ``loss``;
+* messages to a crashed (deregistered or downed) node vanish, as UDP
+  datagrams to a dead host would.
+
+Handlers are ``fn(message) -> None`` callables registered per contact
+address, mirroring the daemons listening on their command ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .engine import Simulator
+from .rng import RngStream
+
+Handler = Callable[[object], None]
+
+
+@dataclass
+class NetworkStats:
+    """Delivery accounting (failure-injection tests assert on these)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_no_recipient: int = 0
+    dropped_down: int = 0
+
+
+class Network:
+    """Message fabric between agents on one simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Optional[RngStream] = None,
+        latency: float = 0.050,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+    ):
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        self.sim = sim
+        self.rng = (rng or RngStream(0)).fork("network")
+        self.latency = latency
+        self.jitter = jitter
+        self.loss = loss
+        self.stats = NetworkStats()
+        self._handlers: Dict[str, Handler] = {}
+        self._down: set = set()
+
+    # -- membership ------------------------------------------------------
+
+    def register(self, address: str, handler: Handler) -> None:
+        """Attach *handler* to *address* (replacing any previous one)."""
+        self._handlers[address] = handler
+        self._down.discard(address)
+
+    def deregister(self, address: str) -> None:
+        self._handlers.pop(address, None)
+
+    def set_down(self, address: str, down: bool = True) -> None:
+        """Crash (or revive) a node without losing its registration."""
+        if down:
+            self._down.add(address)
+        else:
+            self._down.discard(address)
+
+    def is_down(self, address: str) -> bool:
+        return address in self._down
+
+    # -- transmission ------------------------------------------------------
+
+    def send(self, message) -> None:
+        """Queue *message* for delivery to ``message.recipient``.
+
+        A down *sender* cannot transmit (a dead process sends nothing);
+        loss is decided at send time, delivery state at delivery time —
+        a message in flight to a node that crashes mid-flight is lost,
+        like a datagram to a dead host.
+        """
+        sender = getattr(message, "sender", None)
+        if sender in self._down:
+            self.stats.dropped_down += 1
+            return
+        self.stats.sent += 1
+        if self.loss and self.rng.bernoulli(self.loss):
+            self.stats.dropped_loss += 1
+            return
+        delay = self.latency
+        if self.jitter:
+            delay += self.rng.uniform(0.0, self.jitter)
+        self.sim.schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message) -> None:
+        recipient = message.recipient
+        if recipient in self._down:
+            self.stats.dropped_down += 1
+            return
+        handler = self._handlers.get(recipient)
+        if handler is None:
+            self.stats.dropped_no_recipient += 1
+            return
+        self.stats.delivered += 1
+        handler(message)

@@ -1,0 +1,75 @@
+"""Event tracing — part of S23 in DESIGN.md.
+
+A trace is an append-only list of (time, kind, fields) records emitted
+by agents; the F3 benchmark renders one into the paper's Figure 3
+sequence (advertise → match → notify → claim), and integration tests
+assert protocol ordering on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str
+    fields: Dict[str, Any]
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:10.3f}] {self.kind:<22} {details}"
+
+
+class Trace:
+    """Collects :class:`TraceEvent` records during a simulation run."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, fields))
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def kinds(self) -> List[str]:
+        """Distinct kinds in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.kind, None)
+        return list(seen)
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        for e in self.events:
+            if e.kind == kind:
+                return e
+        return None
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        for e in reversed(self.events):
+            if e.kind == kind:
+                return e
+        return None
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        return [e for e in self.events if start <= e.time <= end]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable transcript (the Figure 3 walk-through)."""
+        events = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in events)

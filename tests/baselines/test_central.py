@@ -1,0 +1,89 @@
+"""Unit tests for the centralized system-model baseline (S19)."""
+
+import pytest
+
+from repro.baselines import CentralAllocator
+from repro.condor import Job, MachineSpec, PoissonOwner
+from repro.condor.machine import OwnerModel
+
+
+class ScriptedOwner(OwnerModel):
+    def __init__(self, first_arrival, active_for):
+        self.first_arrival = first_arrival
+        self.active_for = active_for
+
+    def first_event(self, rng):
+        return False, self.first_arrival
+
+    def active_duration(self, rng):
+        return self.active_for
+
+    def idle_duration(self, rng):
+        return 1e12
+
+
+class TestParticipation:
+    def test_owned_machines_refused_by_default(self):
+        system = CentralAllocator(seed=1)
+        assert system.add_machine(MachineSpec(name="dedicated")) is not None
+        refused = system.add_machine(
+            MachineSpec(name="personal"), owner_model=PoissonOwner()
+        )
+        assert refused is None
+        assert list(system.machines) == ["dedicated"]
+
+    def test_owned_machines_admitted_in_ablation_variant(self):
+        system = CentralAllocator(seed=1, include_owned_machines=True)
+        system.add_machine(MachineSpec(name="personal"), owner_model=PoissonOwner())
+        assert "personal" in system.machines
+
+
+class TestScheduling:
+    def test_global_fcfs_over_compatible_machines(self):
+        system = CentralAllocator(seed=2)
+        system.add_machine(MachineSpec(name="intel0", arch="INTEL"))
+        system.add_machine(MachineSpec(name="sparc0", arch="SPARC"))
+        intel_job = Job(owner="a", total_work=100.0, req_arch="INTEL")
+        sparc_job = Job(owner="a", total_work=100.0, req_arch="SPARC")
+        system.submit(intel_job)
+        system.submit(sparc_job)
+        system.run_until_quiescent(check_interval=30.0, max_time=10_000.0)
+        assert intel_job.running_on is None and intel_job.done
+        assert sparc_job.done
+        assert system.metrics.jobs_completed == 2
+
+    def test_incompatible_job_waits_forever(self):
+        system = CentralAllocator(seed=2)
+        system.add_machine(MachineSpec(name="intel0", arch="INTEL"))
+        job = Job(owner="a", total_work=10.0, req_arch="ALPHA")
+        system.submit(job)
+        system.run_until(10_000.0)
+        assert not job.done
+
+    def test_backlog_drains_in_order(self):
+        system = CentralAllocator(seed=2)
+        system.add_machine(MachineSpec(name="m0"))
+        jobs = [Job(owner="a", total_work=100.0) for _ in range(3)]
+        for job in jobs:
+            system.submit(job)
+        system.run_until_quiescent(check_interval=30.0, max_time=10_000.0)
+        times = [j.completion_time for j in jobs]
+        assert times == sorted(times)
+
+
+class TestAngryOwners:
+    def test_owner_arrival_kills_job_without_checkpoint(self):
+        """In the ablation variant the model ignores owners, so a
+        returning owner destroys all progress — even for jobs that would
+        checkpoint under Condor."""
+        system = CentralAllocator(seed=3, include_owned_machines=True)
+        system.add_machine(
+            MachineSpec(name="m0"), owner_model=ScriptedOwner(200.0, 100.0)
+        )
+        job = Job(owner="a", total_work=600.0, want_checkpoint=True)
+        system.submit(job)
+        system.run_until_quiescent(check_interval=60.0, max_time=100_000.0)
+        assert job.done
+        assert job.restarts == 1
+        assert system.metrics.badput == pytest.approx(200.0, abs=2.0)
+        assert job.completed_work == 0.0 or job.done

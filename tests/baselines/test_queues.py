@@ -1,0 +1,129 @@
+"""Unit tests for the static-queue baseline (S18)."""
+
+import pytest
+
+from repro.baselines import QueueBasedScheduler, UnknownQueueError
+from repro.condor import Job, MachineSpec
+from repro.condor.machine import OwnerModel
+
+
+class ScriptedOwner(OwnerModel):
+    def __init__(self, first_arrival, active_for):
+        self.first_arrival = first_arrival
+        self.active_for = active_for
+
+    def first_event(self, rng):
+        return False, self.first_arrival
+
+    def active_duration(self, rng):
+        return self.active_for
+
+    def idle_duration(self, rng):
+        return 1e12
+
+
+def build(n_intel=2, n_sparc=2):
+    system = QueueBasedScheduler(seed=3)
+    for i in range(n_intel):
+        system.add_machine(MachineSpec(name=f"intel{i}", arch="INTEL"))
+    for i in range(n_sparc):
+        system.add_machine(MachineSpec(name=f"sparc{i}", arch="SPARC"))
+    system.add_queue("q_intel", [f"intel{i}" for i in range(n_intel)])
+    system.add_queue("q_sparc", [f"sparc{i}" for i in range(n_sparc)])
+    return system
+
+
+class TestSubmission:
+    def test_unknown_queue_rejected(self):
+        system = build()
+        with pytest.raises(UnknownQueueError):
+            system.submit(Job(owner="a", total_work=10), "nonexistent")
+
+    def test_job_runs_on_queue_machine(self):
+        system = build()
+        job = Job(owner="a", total_work=100.0)
+        system.submit(job, "q_intel")
+        system.run_until_quiescent(check_interval=60.0, max_time=10_000.0)
+        assert job.done
+        assert system.metrics.jobs_completed == 1
+
+    def test_fcfs_order_within_queue(self):
+        system = build(n_intel=1, n_sparc=0)
+        first = Job(owner="a", total_work=100.0)
+        second = Job(owner="b", total_work=100.0)
+        system.submit(first, "q_intel")
+        system.submit(second, "q_intel")
+        system.run_until_quiescent(check_interval=10.0, max_time=10_000.0)
+        assert first.completion_time < second.completion_time
+
+    def test_scheduled_arrival(self):
+        system = build()
+        job = Job(owner="a", total_work=50.0)
+        system.submit(job, "q_intel", at=500.0)
+        system.run_until_quiescent(check_interval=60.0, max_time=10_000.0)
+        assert job.submit_time == 500.0
+        assert job.done
+
+
+class TestStaticBinding:
+    def test_job_never_uses_other_queues_machines(self):
+        """The core criticism: q_intel backlog cannot spill onto idle
+        SPARC machines even if it wanted to — and an INTEL job queued on
+        q_sparc never runs at all."""
+        system = build(n_intel=1, n_sparc=4)
+        jobs = [Job(owner="a", total_work=600.0) for _ in range(6)]
+        for job in jobs:
+            system.submit(job, "q_intel")
+        system.run_until(1_800.0)
+        # Only the single intel machine ever served them: ≤3 completions
+        # in 1800s of 600s jobs.
+        assert system.metrics.jobs_completed <= 3
+        assert all(j.running_on in (None, "intel0") for j in jobs)
+
+    def test_misqueued_job_starves(self):
+        system = build()
+        wrong = Job(owner="a", total_work=10.0, req_arch="INTEL")
+        system.submit(wrong, "q_sparc")  # user picked the wrong queue
+        system.run_until(10_000.0)
+        assert not wrong.done
+        assert wrong.first_start_time is None
+
+    def test_unplaceable_job_does_not_block_queue(self):
+        system = build(n_intel=1, n_sparc=0)
+        big = Job(owner="a", total_work=10.0, memory=4096)  # fits nothing
+        small = Job(owner="b", total_work=10.0)
+        system.submit(big, "q_intel")
+        system.submit(small, "q_intel")
+        system.run_until_quiescent(check_interval=10.0, max_time=1_000.0)
+        assert small.done
+        assert not big.done
+
+
+class TestOwnerEviction:
+    def test_eviction_requeues_at_front(self):
+        system = QueueBasedScheduler(seed=5)
+        system.add_machine(
+            MachineSpec(name="m0"), owner_model=ScriptedOwner(200.0, 100.0)
+        )
+        system.add_queue("q", ["m0"])
+        victim = Job(owner="a", total_work=600.0, want_checkpoint=True)
+        queued = Job(owner="b", total_work=100.0)
+        system.submit(victim, "q")
+        system.submit(queued, "q")
+        system.run_until_quiescent(check_interval=60.0, max_time=100_000.0)
+        assert victim.done and queued.done
+        assert victim.evictions == 1
+        # Front-of-queue requeue: the victim resumes before the later job.
+        assert victim.completion_time < queued.completion_time
+
+    def test_checkpoint_semantics_match_condor(self):
+        system = QueueBasedScheduler(seed=5)
+        system.add_machine(
+            MachineSpec(name="m0"), owner_model=ScriptedOwner(200.0, 100.0)
+        )
+        system.add_queue("q", ["m0"])
+        job = Job(owner="a", total_work=600.0, want_checkpoint=False)
+        system.submit(job, "q")
+        system.run_until_quiescent(check_interval=60.0, max_time=100_000.0)
+        assert job.done
+        assert system.metrics.badput == pytest.approx(200.0, abs=2.0)

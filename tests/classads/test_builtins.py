@@ -1,0 +1,249 @@
+"""Unit tests for the built-in function library."""
+
+import pytest
+
+from repro.classads import ClassAd, evaluate, is_error, is_undefined, parse
+
+
+def ev(text, self_ad=None, other=None):
+    return evaluate(parse(text), self_ad, other=other)
+
+
+class TestMember:
+    def test_string_membership(self):
+        ad = ClassAd.parse('[ Group = { "raman", "miron" } ]')
+        assert ev('member("raman", Group)', ad) is True
+        assert ev('member("wright", Group)', ad) is False
+
+    def test_case_insensitive_like_equality(self):
+        ad = ClassAd.parse('[ Group = { "Raman" } ]')
+        assert ev('member("raman", Group)', ad) is True
+
+    def test_numeric_membership_promotes(self):
+        assert ev("member(2, {1, 2.0, 3})") is True
+        assert ev("member(true, {1})") is True
+
+    def test_missing_list_is_undefined(self):
+        ad = ClassAd({})
+        assert is_undefined(ev('member("x", NoSuchList)', ad))
+
+    def test_undefined_item_is_undefined(self):
+        assert is_undefined(ev("member(undefined, {1})"))
+
+    def test_non_list_is_error(self):
+        assert is_error(ev('member("x", 3)'))
+
+    def test_incomparable_elements_error_only_without_match(self):
+        assert ev('member(2, {"a", 2})') is True
+        assert is_error(ev('member(2, {"a", 3})'))
+
+    def test_wrong_arity(self):
+        assert is_error(ev("member(1)"))
+
+
+class TestIdenticalMember:
+    def test_case_sensitive(self):
+        assert ev('identicalMember("Raman", {"raman"})') is False
+        assert ev('identicalMember("raman", {"raman"})') is True
+
+    def test_undefined_item_allowed(self):
+        # Meta operation: can probe for undefined in a list.
+        assert ev("identicalMember(undefined, {undefined})") is True
+
+    def test_type_distinction(self):
+        assert ev("identicalMember(1, {1.0})") is False
+
+
+class TestSizeAndAggregates:
+    def test_size_of_list(self):
+        assert ev("size({1, 2, 3})") == 3
+
+    def test_size_of_string(self):
+        assert ev('size("abc")') == 3
+
+    def test_size_of_record(self):
+        assert ev("size([a = 1; b = 2])") == 2
+
+    def test_size_of_number_is_error(self):
+        assert is_error(ev("size(3)"))
+
+    def test_sum(self):
+        assert ev("sum({1, 2, 3.5})") == 6.5
+
+    def test_sum_with_booleans(self):
+        assert ev("sum({true, true, false})") == 2
+
+    def test_sum_non_numeric_is_error(self):
+        assert is_error(ev('sum({1, "x"})'))
+
+    def test_min_max_over_list(self):
+        assert ev("min({3, 1, 2})") == 1
+        assert ev("max({3, 1, 2})") == 3
+
+    def test_min_max_varargs(self):
+        assert ev("min(3, 1, 2)") == 1
+        assert ev("max(1.5, 2)") == 2
+
+    def test_min_of_empty_list_is_undefined(self):
+        assert is_undefined(ev("min({})"))
+
+
+class TestStringFunctions:
+    def test_strcat(self):
+        assert ev('strcat("vm-", 12)') == "vm-12"
+
+    def test_strcat_booleans(self):
+        assert ev("strcat(true, false)") == "truefalse"
+
+    def test_strcat_undefined_propagates(self):
+        assert is_undefined(ev('strcat("a", undefined)'))
+
+    def test_substr_basic(self):
+        assert ev('substr("leonardo", 0, 3)') == "leo"
+
+    def test_substr_to_end(self):
+        assert ev('substr("leonardo", 4)') == "ardo"
+
+    def test_substr_negative_offset(self):
+        assert ev('substr("leonardo", -4)') == "ardo"
+
+    def test_substr_negative_length(self):
+        assert ev('substr("leonardo", 1, -1)') == "eonard"
+
+    def test_substr_bad_types(self):
+        assert is_error(ev("substr(5, 0)"))
+
+    def test_case_conversion(self):
+        assert ev('toUpper("intel")') == "INTEL"
+        assert ev('toLower("SOLARIS251")') == "solaris251"
+
+    def test_regexp(self):
+        assert ev('regexp("^run_", "run_sim")') is True
+        assert ev('regexp("^sim", "run_sim")') is False
+
+    def test_regexp_case_insensitive_option(self):
+        assert ev('regexp("INTEL", "intel", "i")') is True
+
+    def test_regexp_bad_pattern_is_error(self):
+        assert is_error(ev('regexp("(", "x")'))
+
+    def test_string_list_member(self):
+        assert ev('stringListMember("vanilla", "standard, vanilla, pvm")') is True
+        assert ev('stringListMember("mpi", "standard, vanilla")') is False
+
+    def test_string_list_member_custom_delims(self):
+        assert ev('stringListMember("b", "a:b:c", ":")') is True
+
+
+class TestNumericFunctions:
+    def test_int_of_real_truncates(self):
+        assert ev("int(3.9)") == 3
+        assert ev("int(-3.9)") == -3
+
+    def test_int_of_string(self):
+        assert ev('int("42")') == 42
+        assert ev('int(" 3.5 ")') == 3
+
+    def test_int_of_garbage_is_error(self):
+        assert is_error(ev('int("forty")'))
+
+    def test_real_of_int(self):
+        assert ev("real(3)") == 3.0
+
+    def test_real_of_string(self):
+        assert ev('real("2.5")') == 2.5
+
+    def test_string_of_number(self):
+        assert ev("string(42)") == "42"
+
+    def test_floor_ceiling(self):
+        assert ev("floor(3.7)") == 3
+        assert ev("ceiling(3.2)") == 4
+        assert ev("floor(-3.2)") == -4
+        assert ev("ceiling(-3.7)") == -3
+
+    def test_round_half_away_from_zero(self):
+        assert ev("round(2.5)") == 3
+        assert ev("round(-2.5)") == -3
+        assert ev("round(2.4)") == 2
+
+    def test_abs(self):
+        assert ev("abs(-4)") == 4
+        assert ev("abs(2.5)") == 2.5
+
+    def test_pow(self):
+        assert ev("pow(2, 10)") == 1024
+
+    def test_pow_domain_error(self):
+        assert is_error(ev("pow(-1, 0.5)"))
+
+
+class TestTypePredicates:
+    def test_is_undefined_non_strict(self):
+        assert ev("isUndefined(undefined)") is True
+        assert ev("isUndefined(3)") is False
+
+    def test_is_undefined_of_missing_attribute(self):
+        ad = ClassAd({})
+        assert ev("isUndefined(Memory)", ad) is True
+
+    def test_is_error_non_strict(self):
+        assert ev("isError(1/0)") is True
+        assert ev("isError(1)") is False
+
+    def test_scalar_predicates(self):
+        assert ev('isString("x")') is True
+        assert ev("isInteger(3)") is True
+        assert ev("isInteger(3.0)") is False
+        assert ev("isReal(3.0)") is True
+        assert ev("isBoolean(true)") is True
+        assert ev("isBoolean(1)") is False
+        assert ev("isList({1})") is True
+        assert ev("isClassAd([a=1])") is True
+
+
+class TestIfThenElse:
+    def test_selects_branch(self):
+        assert ev("ifThenElse(2 > 1, 10, 20)") == 10
+        assert ev("ifThenElse(2 < 1, 10, 20)") == 20
+
+    def test_lazy_untaken_branch(self):
+        assert ev("ifThenElse(true, 1, 1/0)") == 1
+
+    def test_undefined_guard(self):
+        assert is_undefined(ev("ifThenElse(undefined, 1, 2)"))
+
+    def test_wrong_arity_is_error(self):
+        assert is_error(ev("ifThenElse(true, 1)"))
+
+
+class TestSplitJoin:
+    def test_split_on_whitespace(self):
+        assert ev('split("a b  c")') == ["a", "b", "c"]
+
+    def test_split_custom_delims(self):
+        assert ev('split("a,b;c", ",;")') == ["a", "b", "c"]
+
+    def test_split_drops_empty_tokens(self):
+        assert ev('split("a,,b", ",")') == ["a", "b"]
+
+    def test_split_non_string_is_error(self):
+        assert is_error(ev("split(3)"))
+
+    def test_split_empty_delims_is_error(self):
+        assert is_error(ev('split("a", "")'))
+
+    def test_join_list(self):
+        assert ev('join("-", {"a", "b", "c"})') == "a-b-c"
+
+    def test_join_varargs_with_numbers(self):
+        assert ev('join(":", "x", 1, true)') == "x:1:true"
+
+    def test_join_round_trips_split(self):
+        assert ev('join(",", split("a,b,c", ","))') == "a,b,c"
+
+    def test_join_bad_separator(self):
+        assert is_error(ev('join(3, {"a"})'))
+
+    def test_split_undefined_propagates(self):
+        assert is_undefined(ev("split(undefined)"))

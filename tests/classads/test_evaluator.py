@@ -1,0 +1,417 @@
+"""Unit tests for evaluator semantics: operators, scoping, cycles, budgets."""
+
+import pytest
+
+from repro.classads import (
+    ERROR,
+    UNDEFINED,
+    ClassAd,
+    evaluate,
+    is_error,
+    is_undefined,
+    parse,
+)
+
+
+def ev(text, self_ad=None, other=None):
+    return evaluate(parse(text), self_ad, other=other)
+
+
+class TestArithmetic:
+    def test_integer_addition(self):
+        assert ev("2 + 3") == 5
+
+    def test_real_promotion(self):
+        assert ev("2 + 0.5") == 2.5
+
+    def test_integer_division_truncates(self):
+        assert ev("10 / 3") == 3
+        assert ev("10 / 3") is not True  # sanity: int, not bool
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert ev("-7 / 2") == -3
+        assert ev("7 / -2") == -3
+
+    def test_real_division(self):
+        assert ev("10 / 4.0") == 2.5
+
+    def test_division_by_zero_is_error(self):
+        assert is_error(ev("1 / 0"))
+        assert is_error(ev("1.0 / 0"))
+
+    def test_modulus(self):
+        assert ev("10 % 3") == 1
+
+    def test_modulus_sign_follows_dividend(self):
+        assert ev("-7 % 2") == -1
+        assert ev("7 % -2") == 1
+
+    def test_modulus_by_zero_is_error(self):
+        assert is_error(ev("5 % 0"))
+
+    def test_modulus_requires_integers(self):
+        assert is_error(ev("5.5 % 2"))
+
+    def test_boolean_promotes_to_integer(self):
+        # Figure 1: Rank = member(...) * 10 + member(...).
+        assert ev("true * 10 + false") == 10
+
+    def test_string_arithmetic_is_error(self):
+        assert is_error(ev('"a" + "b"'))
+
+    def test_unary_minus(self):
+        assert ev("-(3 + 4)") == -7
+
+    def test_unary_plus(self):
+        assert ev("+5") == 5
+
+    def test_unary_minus_of_string_is_error(self):
+        assert is_error(ev('-"x"'))
+
+
+class TestStrictness:
+    """Most operators are strict w.r.t. undefined (Section 3.1)."""
+
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!="])
+    def test_undefined_left_operand(self, op):
+        assert is_undefined(ev(f"undefined {op} 32"))
+
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!="])
+    def test_undefined_right_operand(self, op):
+        assert is_undefined(ev(f"32 {op} undefined"))
+
+    def test_paper_examples_of_strict_comparisons(self):
+        """All four listed forms in Section 3.1 evaluate to undefined when
+        the target has no Memory attribute."""
+        machine = ClassAd({"Type": "Machine"})  # no Memory
+        job = ClassAd({"Type": "Job"})
+        for text in [
+            "other.Memory > 32",
+            "other.Memory == 32",
+            "other.Memory != 32",
+            "!(other.Memory == 32)",
+        ]:
+            assert is_undefined(ev(text, job, other=machine)), text
+
+    def test_error_dominates_undefined(self):
+        assert is_error(ev('(1/0) + undefined'))
+        assert is_error(ev('undefined + (1/0)'))
+
+    def test_negation_of_undefined(self):
+        assert is_undefined(ev("!undefined"))
+
+    def test_negation_of_error(self):
+        assert is_error(ev("!error"))
+
+
+class TestComparisons:
+    def test_numeric_ordering(self):
+        assert ev("3 < 4") is True
+        assert ev("4 <= 4") is True
+        assert ev("3 > 4") is False
+        assert ev("4 >= 5") is False
+
+    def test_mixed_int_real_comparison(self):
+        assert ev("3 < 3.5") is True
+
+    def test_string_equality_case_insensitive(self):
+        assert ev('"INTEL" == "intel"') is True
+        assert ev('"INTEL" != "intel"') is False
+
+    def test_string_ordering_case_insensitive(self):
+        assert ev('"apple" < "BANANA"') is True
+
+    def test_string_number_comparison_is_error(self):
+        assert is_error(ev('"32" == 32'))
+
+    def test_boolean_equality(self):
+        assert ev("true == true") is True
+        assert ev("true == 1") is True  # bools promote
+
+    def test_list_comparison_is_error(self):
+        assert is_error(ev("{1} == {1}"))
+
+
+class TestBooleanLogic:
+    """&& and || are non-strict on both arguments (Section 3.1)."""
+
+    def test_false_and_undefined(self):
+        assert ev("false && undefined") is False
+
+    def test_undefined_and_false(self):
+        assert ev("undefined && false") is False
+
+    def test_true_and_undefined(self):
+        assert is_undefined(ev("true && undefined"))
+
+    def test_true_or_undefined(self):
+        assert ev("true || undefined") is True
+
+    def test_undefined_or_true(self):
+        assert ev("undefined || true") is True
+
+    def test_false_or_undefined(self):
+        assert is_undefined(ev("false || undefined"))
+
+    def test_false_and_error_short_circuits(self):
+        assert ev("false && error") is False
+
+    def test_true_or_error_short_circuits(self):
+        assert ev("true || error") is True
+
+    def test_error_and_true(self):
+        assert is_error(ev("error && true"))
+
+    def test_undefined_or_undefined(self):
+        assert is_undefined(ev("undefined || undefined"))
+
+    def test_paper_mips_kflops_example(self):
+        """`Mips >= 10 || KFlops >= 1000` is true whenever either attribute
+        exists and satisfies its bound (Section 3.1)."""
+        only_mips = ClassAd({"Mips": 104})
+        only_kflops = ClassAd({"KFlops": 21893})
+        neither = ClassAd({})
+        text = "Mips >= 10 || KFlops >= 1000"
+        assert ev(text, only_mips) is True
+        assert ev(text, only_kflops) is True
+        assert is_undefined(ev(text, neither))
+
+    def test_nonboolean_operand_is_error(self):
+        assert is_error(ev("1 && true"))
+
+
+class TestIsIsnt:
+    """is/isnt always return Booleans — never undefined (Section 3.1)."""
+
+    def test_undefined_is_undefined(self):
+        assert ev("undefined is undefined") is True
+
+    def test_value_is_undefined(self):
+        assert ev("3 is undefined") is False
+
+    def test_paper_explicit_comparison_idiom(self):
+        machine_without_memory = ClassAd({"Type": "Machine"})
+        job = ClassAd({})
+        result = ev(
+            "other.Memory is undefined || other.Memory < 32",
+            job,
+            other=machine_without_memory,
+        )
+        assert result is True
+
+    def test_is_distinguishes_int_and_real(self):
+        assert ev("1 is 1.0") is False
+        assert ev("1 == 1.0") is True
+
+    def test_is_distinguishes_bool_and_int(self):
+        assert ev("true is 1") is False
+
+    def test_is_strings_case_sensitive(self):
+        assert ev('"INTEL" is "intel"') is False
+        assert ev('"INTEL" is "INTEL"') is True
+
+    def test_isnt_negates(self):
+        assert ev("3 isnt 4") is True
+        assert ev("undefined isnt undefined") is False
+
+    def test_error_is_error(self):
+        assert ev("error is error") is True
+        assert ev("(1/0) is error") is True
+
+    def test_list_identity(self):
+        assert ev("{1, 2} is {1, 2}") is True
+        assert ev("{1, 2} is {1, 2.0}") is False
+
+
+class TestConditional:
+    def test_true_branch(self):
+        assert ev("true ? 1 : 2") == 1
+
+    def test_false_branch(self):
+        assert ev("false ? 1 : 2") == 2
+
+    def test_undefined_guard(self):
+        assert is_undefined(ev("undefined ? 1 : 2"))
+
+    def test_error_guard(self):
+        assert is_error(ev("(1/0) ? 1 : 2"))
+
+    def test_nonboolean_guard_is_error(self):
+        assert is_error(ev("5 ? 1 : 2"))
+
+    def test_untaken_branch_not_evaluated(self):
+        assert ev("true ? 1 : (1/0)") == 1
+
+
+class TestAttributeResolution:
+    def test_bare_name_resolves_in_self(self):
+        ad = ClassAd({"Memory": 64})
+        assert ev("Memory", ad) == 64
+
+    def test_missing_attribute_is_undefined(self):
+        ad = ClassAd({})
+        assert is_undefined(ev("Memory", ad))
+
+    def test_self_prefix(self):
+        job = ClassAd({"Memory": 31})
+        machine = ClassAd({"Memory": 64})
+        assert ev("self.Memory", job, other=machine) == 31
+
+    def test_other_prefix(self):
+        job = ClassAd({"Memory": 31})
+        machine = ClassAd({"Memory": 64})
+        assert ev("other.Memory", job, other=machine) == 64
+
+    def test_self_shadows_other_for_bare_names(self):
+        job = ClassAd({"Memory": 31})
+        machine = ClassAd({"Memory": 64})
+        assert ev("Memory", job, other=machine) == 31
+
+    def test_bare_name_falls_through_to_other(self):
+        # Figure 2's Constraint references Arch, which only the machine has.
+        job = ClassAd({"Memory": 31})
+        machine = ClassAd({"Arch": "INTEL"})
+        assert ev('Arch == "INTEL"', job, other=machine) is True
+
+    def test_attribute_from_other_evaluates_in_its_home_ad(self):
+        # The machine's Tier references the machine's own Memory even when
+        # the job triggers the evaluation via fallthrough.
+        machine = ClassAd({"Memory": 64})
+        machine.set_expr("Tier", "Memory / 32")
+        job = ClassAd({"Memory": 31})
+        assert ev("Tier", job, other=machine) == 2
+
+    def test_other_scoped_expr_swaps_self_other(self):
+        # machine.Wants references *its* other (the job).
+        machine = ClassAd({})
+        machine.set_expr("Wants", 'other.Owner == "raman"')
+        job = ClassAd({"Owner": "raman"})
+        assert ev("other.Wants", job, other=machine) is True
+
+    def test_attribute_names_case_insensitive(self):
+        ad = ClassAd({"KeyboardIdle": 1432})
+        assert ev("KEYBOARDIDLE", ad) == 1432
+
+    def test_other_reference_without_other_ad(self):
+        ad = ClassAd({"Memory": 64})
+        assert is_undefined(ev("other.Memory", ad))
+
+
+class TestNestedRecords:
+    def test_select_into_nested_record(self):
+        ad = ClassAd.parse("[ cpu = [ mips = 104; flops = 21893 ] ]")
+        assert ev("cpu.mips", ad) == 104
+
+    def test_nested_record_sibling_reference(self):
+        ad = ClassAd.parse("[ cpu = [ mips = 104; fast = mips > 100 ] ]")
+        assert ev("cpu.fast", ad) is True
+
+    def test_nested_record_sees_enclosing_scope(self):
+        ad = ClassAd.parse("[ base = 10; inner = [ v = base + 1 ] ]")
+        assert ev("inner.v", ad) == 11
+
+    def test_inner_shadows_outer(self):
+        ad = ClassAd.parse("[ v = 1; inner = [ v = 2; w = v ] ]")
+        assert ev("inner.w", ad) == 2
+
+    def test_select_on_non_record_is_error(self):
+        ad = ClassAd({"x": 5})
+        assert is_error(ev("x.y", ad))
+
+    def test_select_on_undefined_is_undefined(self):
+        ad = ClassAd({})
+        assert is_undefined(ev("nothing.y", ad))
+
+    def test_missing_attr_of_record_is_undefined(self):
+        ad = ClassAd.parse("[ cpu = [ mips = 104 ] ]")
+        assert is_undefined(ev("cpu.missing", ad))
+
+
+class TestSubscripts:
+    def test_list_indexing(self):
+        ad = ClassAd.parse('[ Friends = { "tannenba", "wright" } ]')
+        assert ev("Friends[1]", ad) == "wright"
+
+    def test_out_of_range_is_error(self):
+        ad = ClassAd.parse("[ xs = {1, 2} ]")
+        assert is_error(ev("xs[5]", ad))
+        assert is_error(ev("xs[-1]", ad))
+
+    def test_non_integer_index_is_error(self):
+        ad = ClassAd.parse("[ xs = {1} ]")
+        assert is_error(ev('xs["a"]', ad))
+
+    def test_subscript_of_non_list_is_error(self):
+        ad = ClassAd.parse("[ xs = 3 ]")
+        assert is_error(ev("xs[0]", ad))
+
+    def test_undefined_base_propagates(self):
+        ad = ClassAd({})
+        assert is_undefined(ev("nothing[0]", ad))
+
+
+class TestCycles:
+    def test_self_cycle_is_undefined(self):
+        ad = ClassAd({})
+        ad.set_expr("x", "x + 1")
+        assert is_undefined(ad.evaluate("x"))
+
+    def test_mutual_cycle_is_undefined(self):
+        ad = ClassAd({})
+        ad.set_expr("a", "b")
+        ad.set_expr("b", "a")
+        assert is_undefined(ad.evaluate("a"))
+
+    def test_cross_ad_ping_pong_terminates(self):
+        a = ClassAd({})
+        a.set_expr("Rank", "other.Rank")
+        b = ClassAd({})
+        b.set_expr("Rank", "other.Rank")
+        assert is_undefined(a.evaluate("Rank", other=b))
+
+    def test_diamond_reuse_is_not_a_cycle(self):
+        # x referenced twice along different paths must not trip detection.
+        ad = ClassAd.parse("[ x = 3; y = x + x ]")
+        assert ad.evaluate("y") == 6
+
+    def test_figure1_rank_in_constraint_is_not_cyclic(self):
+        # Figure 1's Constraint references its own Rank attribute.
+        from repro.paper import figure1_machine, figure2_job
+
+        machine = figure1_machine()
+        assert machine.evaluate("Constraint", other=figure2_job()) is True
+
+
+class TestBudgets:
+    def test_step_budget_yields_error(self):
+        ad = ClassAd({})
+        # A chain a0 -> a1 -> ... evaluated under a tiny budget.
+        for i in range(20):
+            ad.set_expr(f"a{i}", f"a{i+1} + 1")
+        ad["a20"] = 0
+        result = ad.evaluate("a0", max_steps=10)
+        assert is_error(result)
+
+    def test_depth_budget_yields_error_not_recursion(self):
+        deep = "!" * 300 + "true"
+        assert is_error(ev(deep))
+
+    def test_generous_budget_succeeds(self):
+        ad = ClassAd({})
+        for i in range(20):
+            ad.set_expr(f"a{i}", f"a{i+1} + 1")
+        ad["a20"] = 0
+        assert ad.evaluate("a0") == 20
+
+
+class TestEvaluationTotality:
+    def test_unknown_function_is_error(self):
+        assert is_error(ev("frobnicate(1, 2)"))
+
+    def test_record_evaluates_to_classad(self):
+        value = ev("[ a = 1 ]")
+        assert isinstance(value, ClassAd)
+        assert value.evaluate("a") == 1
+
+    def test_list_evaluates_members(self):
+        assert ev("{1 + 1, 2 * 2}") == [2, 4]

@@ -1,0 +1,138 @@
+"""Unit tests for the classad tokenizer."""
+
+import pytest
+
+from repro.classads.errors import LexerError
+from repro.classads.lexer import EOF, IDENT, INT, OP, REAL, STRING, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        toks = tokenize("42")
+        assert toks[0].kind == INT and toks[0].value == 42
+
+    def test_zero(self):
+        assert values("0") == [0]
+
+    def test_real_with_fraction(self):
+        toks = tokenize("0.042969")
+        assert toks[0].kind == REAL
+        assert toks[0].value == pytest.approx(0.042969)
+
+    def test_real_scientific_uppercase(self):
+        # Figure 2 uses `KFlops/1E3`.
+        toks = tokenize("1E3")
+        assert toks[0].kind == REAL and toks[0].value == 1000.0
+
+    def test_real_scientific_signed_exponent(self):
+        assert values("2.5e-3") == [0.0025]
+        assert values("2e+2") == [200.0]
+
+    def test_dot_not_followed_by_digit_is_selection(self):
+        # `3.x` must lex as INT, OP(.), IDENT so `ad.Attr` postfix works.
+        toks = tokenize("3.x")
+        assert [t.kind for t in toks[:-1]] == [INT, OP, IDENT]
+
+    def test_integer_then_exponent_like_ident(self):
+        # `2ex` is INT 2 followed by identifier `ex`, not a malformed real.
+        toks = tokenize("2ex")
+        assert [t.kind for t in toks[:-1]] == [INT, IDENT]
+        assert toks[0].value == 2 and toks[1].value == "ex"
+
+
+class TestStrings:
+    def test_simple(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_escapes(self):
+        assert values(r'"a\nb\t\"q\\"') == ['a\nb\t"q\\']
+
+    def test_empty(self):
+        assert values('""') == [""]
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+    def test_unterminated_at_newline_raises(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops\n"')
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexerError):
+            tokenize(r'"\q"')
+
+
+class TestOperators:
+    def test_multi_char_operators(self):
+        assert values("&& || <= >= == != =?= =!=") == [
+            "&&", "||", "<=", ">=", "==", "!=", "=?=", "=!=",
+        ]
+
+    def test_maximal_munch(self):
+        # `<=` must not lex as `<` `=`.
+        toks = tokenize("a<=b")
+        assert toks[1].value == "<="
+
+    def test_single_char_operators(self):
+        text = "+ - * / % ( ) [ ] { } , ; = . ? : < > !"
+        assert values(text) == text.split()
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("a @ b")
+        assert exc.value.column == 3
+
+
+class TestCommentsAndTrivia:
+    def test_line_comment(self):
+        # Figure 1 annotates attributes with // comments.
+        assert values("64 // megabytes") == [64]
+
+    def test_line_comment_stops_at_newline(self):
+        assert values("1 // c\n2") == [1, 2]
+
+    def test_block_comment(self):
+        assert values("1 /* anything \n at all */ 2") == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("1 /* never closed")
+
+    def test_whitespace_only(self):
+        assert kinds("  \t \n ") == [EOF]
+
+    def test_empty_input(self):
+        assert kinds("") == [EOF]
+
+
+class TestIdentifiers:
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("Want_Checkpoint2") == ["Want_Checkpoint2"]
+
+    def test_case_preserved(self):
+        assert values("KeyboardIdle") == ["KeyboardIdle"]
+
+    def test_leading_underscore(self):
+        assert values("_private") == ["_private"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  bb\n c")
+        a, bb, c = toks[0], toks[1], toks[2]
+        assert (a.line, a.column) == (1, 1)
+        assert (bb.line, bb.column) == (2, 3)
+        assert (c.line, c.column) == (3, 2)
+
+    def test_eof_token_always_last(self):
+        toks = tokenize("x + y")
+        assert toks[-1].kind == EOF

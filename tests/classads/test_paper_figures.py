@@ -1,0 +1,209 @@
+"""Figure 1 / Figure 2 fidelity tests (experiments F1 and F2).
+
+These encode Section 4's narration of the Figure 1 policy:
+
+  "the workstation is never willing to run applications submitted by
+   users rival and riffraff, it is always willing to run the jobs of
+   members of the research group, friends may use the resource only if
+   the workstation is idle (as determined by keyboard activity and load
+   average), and others may only use the workstation at night."
+
+and the Rank tiers: "research jobs have higher priority than friends'
+jobs, which in turn have higher priority than other jobs."
+"""
+
+import pytest
+
+from repro.classads import is_true, is_undefined, rank_value
+from repro.paper import (
+    figure1_machine,
+    figure1_machine_at,
+    figure2_job,
+    job_from,
+)
+
+NOON = 12 * 3600
+NIGHT = 22 * 3600
+EARLY = 7 * 3600
+IDLE_KEYBOARD = 1432  # > 15 minutes
+BUSY_KEYBOARD = 30  # owner typing
+
+
+def machine_accepts(machine, job):
+    return is_true(machine.evaluate("Constraint", other=job))
+
+
+class TestFigure1OwnerPolicy:
+    def test_research_group_always_welcome(self):
+        machine = figure1_machine_at(NOON, BUSY_KEYBOARD, load_avg=2.0)
+        assert machine_accepts(machine, job_from("raman"))
+
+    @pytest.mark.parametrize("owner", ["raman", "miron", "solomon", "jbasney"])
+    def test_all_research_group_members(self, owner):
+        machine = figure1_machine_at(NOON, BUSY_KEYBOARD, load_avg=2.0)
+        assert machine_accepts(machine, job_from(owner))
+
+    def test_untrusted_never_welcome_even_at_night(self):
+        machine = figure1_machine_at(NIGHT, IDLE_KEYBOARD, load_avg=0.0)
+        assert not machine_accepts(machine, job_from("rival"))
+        assert not machine_accepts(machine, job_from("riffraff"))
+
+    def test_friend_welcome_only_when_idle(self):
+        idle = figure1_machine_at(NOON, IDLE_KEYBOARD, load_avg=0.1)
+        assert machine_accepts(idle, job_from("tannenba"))
+
+    def test_friend_rejected_when_keyboard_active(self):
+        busy = figure1_machine_at(NOON, BUSY_KEYBOARD, load_avg=0.1)
+        assert not machine_accepts(busy, job_from("tannenba"))
+
+    def test_friend_rejected_when_loaded(self):
+        loaded = figure1_machine_at(NOON, IDLE_KEYBOARD, load_avg=0.5)
+        assert not machine_accepts(loaded, job_from("wright"))
+
+    def test_stranger_welcome_at_night(self):
+        machine = figure1_machine_at(NIGHT, BUSY_KEYBOARD, load_avg=3.0)
+        assert machine_accepts(machine, job_from("stranger"))
+
+    def test_stranger_welcome_early_morning(self):
+        machine = figure1_machine_at(EARLY)
+        assert machine_accepts(machine, job_from("stranger"))
+
+    def test_stranger_rejected_during_work_day(self):
+        machine = figure1_machine_at(NOON, IDLE_KEYBOARD, load_avg=0.0)
+        assert not machine_accepts(machine, job_from("stranger"))
+
+    def test_day_boundaries(self):
+        # Policy: DayTime < 8*3600 || DayTime > 18*3600.
+        stranger = job_from("stranger")
+        assert machine_accepts(figure1_machine_at(8 * 3600 - 1), stranger)
+        assert not machine_accepts(figure1_machine_at(8 * 3600), stranger)
+        assert not machine_accepts(figure1_machine_at(18 * 3600), stranger)
+        assert machine_accepts(figure1_machine_at(18 * 3600 + 1), stranger)
+
+    def test_job_without_owner_is_not_matched(self):
+        machine = figure1_machine_at(NOON)
+        anonymous = figure2_job()
+        del anonymous["Owner"]
+        # member(undefined, ...) is undefined; the whole Constraint
+        # becomes undefined, which the matchmaker treats as no-match.
+        assert is_undefined(machine.evaluate("Constraint", other=anonymous))
+
+
+class TestFigure1RankTiers:
+    def test_research_group_rank(self):
+        machine = figure1_machine()
+        assert machine.evaluate("Rank", other=job_from("raman")) == 10
+
+    def test_friend_rank(self):
+        machine = figure1_machine()
+        assert machine.evaluate("Rank", other=job_from("tannenba")) == 1
+
+    def test_stranger_rank(self):
+        machine = figure1_machine()
+        assert machine.evaluate("Rank", other=job_from("stranger")) == 0
+
+    def test_tiers_are_ordered(self):
+        machine = figure1_machine()
+        ranks = [
+            rank_value(machine.evaluate("Rank", other=job_from(owner)))
+            for owner in ("miron", "wright", "stranger")
+        ]
+        assert ranks == sorted(ranks, reverse=True)
+        assert len(set(ranks)) == 3
+
+
+class TestFigure2JobRequirements:
+    def test_job_matches_leonardo(self):
+        job = figure2_job()
+        assert is_true(job.evaluate("Constraint", other=figure1_machine()))
+
+    def test_wrong_arch_rejected(self):
+        machine = figure1_machine()
+        machine["Arch"] = "SPARC"
+        assert not is_true(figure2_job().evaluate("Constraint", other=machine))
+
+    def test_wrong_opsys_rejected(self):
+        machine = figure1_machine()
+        machine["OpSys"] = "LINUX"
+        assert not is_true(figure2_job().evaluate("Constraint", other=machine))
+
+    def test_insufficient_disk_rejected(self):
+        machine = figure1_machine()
+        machine["Disk"] = 5_000
+        assert not is_true(figure2_job().evaluate("Constraint", other=machine))
+
+    def test_insufficient_memory_rejected(self):
+        machine = figure1_machine()
+        machine["Memory"] = 30  # job needs self.Memory = 31
+        assert not is_true(figure2_job().evaluate("Constraint", other=machine))
+
+    def test_memory_boundary_exact(self):
+        machine = figure1_machine()
+        machine["Memory"] = 31
+        assert is_true(figure2_job().evaluate("Constraint", other=machine))
+
+    def test_non_machine_ad_rejected(self):
+        other_job = figure2_job()
+        assert not is_true(figure2_job().evaluate("Constraint", other=other_job))
+
+    def test_machine_without_type_yields_undefined(self):
+        machine = figure1_machine()
+        del machine["Type"]
+        assert is_undefined(figure2_job().evaluate("Constraint", other=machine))
+
+
+class TestFigure2JobRank:
+    def test_rank_formula(self):
+        # KFlops/1E3 + other.Memory/32 with leonardo's numbers.
+        job = figure2_job()
+        value = job.evaluate("Rank", other=figure1_machine())
+        assert value == pytest.approx(21893 / 1000 + 64 / 32)
+
+    def test_rank_prefers_faster_machine(self):
+        job = figure2_job()
+        slow = figure1_machine()
+        slow["KFlops"] = 1000
+        fast = figure1_machine()
+        fast["KFlops"] = 50000
+        assert rank_value(job.evaluate("Rank", other=fast)) > rank_value(
+            job.evaluate("Rank", other=slow)
+        )
+
+    def test_rank_on_machine_without_kflops_is_zero_for_ordering(self):
+        job = figure2_job()
+        machine = figure1_machine()
+        del machine["KFlops"]
+        assert rank_value(job.evaluate("Rank", other=machine)) == 0.0
+
+
+class TestRoundTripFidelity:
+    def test_figure1_survives_print_parse(self):
+        from repro.classads import ClassAd
+
+        ad = figure1_machine()
+        assert ClassAd.parse(str(ad)) == ad
+
+    def test_figure2_survives_print_parse(self):
+        from repro.classads import ClassAd
+
+        ad = figure2_job()
+        assert ClassAd.parse(str(ad)) == ad
+
+
+class TestFigure1LiteralPrecedenceNote:
+    """Reproduction note F1: the Constraint exactly as printed in Figure 1
+    parses under C precedence as `(!untrusted && Rank>=10) ? ...`, which
+    admits untrusted users at night — contradicting Section 4's prose.
+    Our canonical FIGURE1_MACHINE parenthesizes to match the prose; this
+    test pins down both readings so the discrepancy stays documented."""
+
+    def test_literal_text_admits_untrusted_at_night(self):
+        from repro.paper import FIGURE1_CONSTRAINT_LITERAL, figure1_machine_at
+
+        machine = figure1_machine_at(NIGHT, IDLE_KEYBOARD, load_avg=0.0)
+        machine.set_expr("Constraint", FIGURE1_CONSTRAINT_LITERAL)
+        assert machine_accepts(machine, job_from("rival"))  # the "bug"
+
+    def test_canonical_ad_matches_narration(self):
+        machine = figure1_machine_at(NIGHT, IDLE_KEYBOARD, load_avg=0.0)
+        assert not machine_accepts(machine, job_from("rival"))

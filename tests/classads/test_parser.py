@@ -1,0 +1,260 @@
+"""Unit tests for the classad parser: structure, precedence, errors."""
+
+import pytest
+
+from repro.classads import (
+    UNDEFINED,
+    AttributeRef,
+    BinaryOp,
+    Conditional,
+    FunctionCall,
+    ListExpr,
+    Literal,
+    ParseError,
+    RecordExpr,
+    Select,
+    Subscript,
+    UnaryOp,
+    parse,
+    parse_record,
+)
+
+
+class TestPrimary:
+    def test_integer_literal(self):
+        assert parse("42") == Literal(42)
+
+    def test_real_literal(self):
+        assert parse("3.5") == Literal(3.5)
+
+    def test_string_literal(self):
+        assert parse('"INTEL"') == Literal("INTEL")
+
+    def test_boolean_keywords_case_insensitive(self):
+        assert parse("TRUE") == Literal(True)
+        assert parse("False") == Literal(False)
+
+    def test_undefined_and_error_keywords(self):
+        assert parse("undefined") == Literal(UNDEFINED)
+        assert parse("UNDEFINED") == Literal(UNDEFINED)
+        from repro.classads import ERROR
+
+        assert parse("error") == Literal(ERROR)
+
+    def test_bare_reference(self):
+        assert parse("Memory") == AttributeRef("Memory")
+
+    def test_self_reference(self):
+        assert parse("self.Memory") == AttributeRef("Memory", "self")
+
+    def test_other_reference(self):
+        assert parse("other.Memory") == AttributeRef("Memory", "other")
+
+    def test_my_target_aliases(self):
+        # Classic-ClassAd spellings map onto the paper's self/other.
+        assert parse("MY.Memory") == AttributeRef("Memory", "self")
+        assert parse("TARGET.Disk") == AttributeRef("Disk", "other")
+
+    def test_parenthesized(self):
+        assert parse("(Memory)") == AttributeRef("Memory")
+
+
+class TestReferenceCaseInsensitivity:
+    def test_refs_compare_case_insensitively(self):
+        assert parse("memory") == parse("MEMORY")
+
+    def test_scoped_refs_compare_case_insensitively(self):
+        assert parse("other.MEMORY") == parse("OTHER.memory")
+
+    def test_scope_distinguishes(self):
+        assert parse("self.Memory") != parse("other.Memory")
+        assert parse("Memory") != parse("self.Memory")
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter_than_addition(self):
+        expr = parse("a + b * c")
+        assert expr == BinaryOp(
+            "+", AttributeRef("a"), BinaryOp("*", AttributeRef("b"), AttributeRef("c"))
+        )
+
+    def test_comparison_binds_tighter_than_and(self):
+        expr = parse("a < b && c")
+        assert isinstance(expr, BinaryOp) and expr.op == "&&"
+        assert expr.left == BinaryOp("<", AttributeRef("a"), AttributeRef("b"))
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_equality_binds_tighter_than_relational_is_false(self):
+        # == and < live on different levels: `a < b == c` groups as (a<b)==c.
+        expr = parse("a < b == c")
+        assert expr.op == "=="
+        assert expr.left.op == "<"
+
+    def test_left_associativity_of_subtraction(self):
+        expr = parse("a - b - c")
+        assert expr.op == "-"
+        assert expr.left == BinaryOp("-", AttributeRef("a"), AttributeRef("b"))
+
+    def test_conditional_is_right_associative(self):
+        expr = parse("a ? b : c ? d : e")
+        assert isinstance(expr, Conditional)
+        assert isinstance(expr.otherwise, Conditional)
+
+    def test_nested_conditional_in_then_branch(self):
+        # Figure 1's Constraint nests a conditional in the else branch.
+        expr = parse("a ? b ? c : d : e")
+        assert isinstance(expr.then, Conditional)
+
+    def test_unary_binds_tighter_than_binary(self):
+        expr = parse("!a && b")
+        assert expr.op == "&&"
+        assert expr.left == UnaryOp("!", AttributeRef("a"))
+
+    def test_double_negation(self):
+        assert parse("!!a") == UnaryOp("!", UnaryOp("!", AttributeRef("a")))
+
+    def test_unary_minus_in_arithmetic(self):
+        expr = parse("a * -b")
+        assert expr.right == UnaryOp("-", AttributeRef("b"))
+
+    def test_parentheses_override(self):
+        expr = parse("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+
+class TestIsIsnt:
+    def test_is_keyword(self):
+        assert parse("x is undefined") == BinaryOp(
+            "is", AttributeRef("x"), Literal(UNDEFINED)
+        )
+
+    def test_isnt_keyword(self):
+        expr = parse("x isnt 3")
+        assert expr.op == "isnt"
+
+    def test_symbolic_aliases(self):
+        assert parse("x =?= y") == parse("x is y")
+        assert parse("x =!= y") == parse("x isnt y")
+
+    def test_is_same_level_as_equality(self):
+        expr = parse("a == b is c")
+        assert expr.op == "is"
+        assert expr.left.op == "=="
+
+
+class TestListsAndRecords:
+    def test_empty_list(self):
+        assert parse("{}") == ListExpr([])
+
+    def test_list_of_strings(self):
+        expr = parse('{ "raman", "miron" }')
+        assert expr == ListExpr([Literal("raman"), Literal("miron")])
+
+    def test_nested_lists(self):
+        expr = parse("{ {1, 2}, {3} }")
+        assert len(expr.items) == 2
+        assert isinstance(expr.items[0], ListExpr)
+
+    def test_record_expression(self):
+        expr = parse("[ a = 1; b = 2 ]")
+        assert isinstance(expr, RecordExpr)
+        assert expr.lookup("A") == Literal(1)
+
+    def test_record_trailing_semicolon(self):
+        expr = parse("[ a = 1; ]")
+        assert len(expr.fields) == 1
+
+    def test_empty_record(self):
+        assert parse("[]") == RecordExpr([])
+
+    def test_nested_record(self):
+        expr = parse("[ cpu = [ mips = 104 ] ]")
+        inner = expr.lookup("cpu")
+        assert isinstance(inner, RecordExpr)
+        assert inner.lookup("mips") == Literal(104)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ParseError):
+            parse("[ a = 1; A = 2 ]")
+
+    def test_parse_record_without_brackets(self):
+        record = parse_record('Type = "Job"; Memory = 31')
+        assert record.lookup("type") == Literal("Job")
+        assert record.lookup("memory") == Literal(31)
+
+
+class TestPostfix:
+    def test_selection_on_reference(self):
+        expr = parse("cpu.Mips")
+        assert expr == Select(AttributeRef("cpu"), "Mips")
+
+    def test_selection_chain(self):
+        expr = parse("a.b.c")
+        assert expr == Select(Select(AttributeRef("a"), "b"), "c")
+
+    def test_selection_after_scoped_ref(self):
+        expr = parse("other.cpu.Mips")
+        assert expr == Select(AttributeRef("cpu", "other"), "Mips")
+
+    def test_subscript(self):
+        expr = parse("Friends[0]")
+        assert expr == Subscript(AttributeRef("Friends"), Literal(0))
+
+    def test_subscript_with_expression_index(self):
+        expr = parse("xs[i + 1]")
+        assert isinstance(expr.index, BinaryOp)
+
+    def test_selection_on_record_literal(self):
+        expr = parse("[a = 5].a")
+        assert isinstance(expr, Select)
+
+
+class TestFunctionCalls:
+    def test_no_args(self):
+        assert parse("f()") == FunctionCall("f", [])
+
+    def test_member_call(self):
+        expr = parse("member(other.Owner, ResearchGroup)")
+        assert expr == FunctionCall(
+            "member",
+            [AttributeRef("Owner", "other"), AttributeRef("ResearchGroup")],
+        )
+
+    def test_name_case_insensitive(self):
+        assert parse("MEMBER(x, y)") == parse("member(x, y)")
+
+    def test_nested_calls(self):
+        expr = parse("strcat(toUpper(a), b)")
+        assert isinstance(expr.args[0], FunctionCall)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",               # empty input
+            "a +",            # dangling operator
+            "a ? b",          # missing else branch
+            "(a",             # unclosed paren
+            "{1, }",          # dangling comma... actually `{1,}` lacks item
+            "[a = ]",         # missing value
+            "[1 = 2]",        # non-identifier attribute name
+            "a b",            # trailing input
+            "f(a,)",          # dangling comma in call
+            "xs[1",           # unclosed subscript
+            "a.",             # missing selector
+        ],
+    )
+    def test_malformed_input_raises(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_error_message_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("a +\n+")  # unary plus then EOF at line 2
+        assert "line" in str(exc.value)

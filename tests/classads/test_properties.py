@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the classad language.
+
+Invariants under test:
+
+* parse∘unparse is the identity on expression ASTs;
+* evaluation is *total*: any generated ad/expression evaluates to a value
+  without raising;
+* three-valued logic laws: &&/|| commute w.r.t. logical outcome, `is`
+  always returns a Boolean, strict operators propagate undefined;
+* the match predicate is symmetric in its two ads.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classads import (
+    UNDEFINED,
+    AttributeRef,
+    BinaryOp,
+    ClassAd,
+    Conditional,
+    FunctionCall,
+    ListExpr,
+    Literal,
+    RecordExpr,
+    Select,
+    Subscript,
+    UnaryOp,
+    evaluate,
+    is_error,
+    is_undefined,
+    parse,
+    unparse,
+    values_identical,
+)
+from repro.classads.lexer import KEYWORDS
+
+_RESERVED = KEYWORDS | {"self", "other", "my", "target"}
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,11}", fullmatch=True).filter(
+    lambda s: s.lower() not in _RESERVED
+)
+
+safe_strings = st.text(
+    alphabet=string.ascii_letters + string.digits + " _-./!#$,:;<>()[]{}'\"\\\n\t",
+    max_size=20,
+)
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=2**31),
+    st.floats(min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    safe_strings,
+    st.booleans(),
+    st.just(UNDEFINED),
+).map(Literal)
+
+references = st.builds(
+    AttributeRef,
+    identifiers,
+    st.sampled_from([None, "self", "other"]),
+)
+
+_BINOPS = ["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||", "is", "isnt"]
+
+
+def expressions(max_leaves=25):
+    return st.recursive(
+        st.one_of(literals, references),
+        lambda children: st.one_of(
+            st.builds(UnaryOp, st.sampled_from(["!", "-", "+"]), children),
+            st.builds(BinaryOp, st.sampled_from(_BINOPS), children, children),
+            st.builds(Conditional, children, children, children),
+            st.lists(children, max_size=3).map(ListExpr),
+            st.lists(st.tuples(identifiers, children), max_size=3, unique_by=lambda kv: kv[0].lower()).map(RecordExpr),
+            st.builds(Select, children, identifiers),
+            st.builds(Subscript, children, children),
+            st.builds(FunctionCall, st.sampled_from(["member", "size", "strcat", "isUndefined", "min"]), st.lists(children, max_size=3)),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def classads(depth=8):
+    return st.lists(
+        st.tuples(identifiers, expressions(depth)),
+        max_size=6,
+        unique_by=lambda kv: kv[0].lower(),
+    ).map(ClassAd)
+
+
+class TestRoundTrip:
+    @given(expressions())
+    @settings(max_examples=300, deadline=None)
+    def test_parse_unparse_identity(self, expr):
+        assert parse(unparse(expr)) == expr
+
+    @given(classads())
+    @settings(max_examples=100, deadline=None)
+    def test_classad_print_parse_identity(self, ad):
+        assert ClassAd.parse(str(ad)) == ad
+
+
+class TestTotality:
+    @given(expressions(), classads(depth=4), classads(depth=4))
+    @settings(max_examples=300, deadline=None)
+    def test_evaluation_never_raises(self, expr, self_ad, other_ad):
+        evaluate(expr, self_ad, other=other_ad)  # must not raise
+
+    @given(classads())
+    @settings(max_examples=100, deadline=None)
+    def test_every_attribute_evaluates(self, ad):
+        for name in ad.keys():
+            ad.evaluate(name)
+
+
+class TestLogicLaws:
+    @given(expressions(max_leaves=8), expressions(max_leaves=8), classads(depth=3))
+    @settings(max_examples=200, deadline=None)
+    def test_and_commutes(self, a, b, ad):
+        left = evaluate(BinaryOp("&&", a, b), ad)
+        right = evaluate(BinaryOp("&&", b, a), ad)
+        assert values_identical(left, right)
+
+    @given(expressions(max_leaves=8), expressions(max_leaves=8), classads(depth=3))
+    @settings(max_examples=200, deadline=None)
+    def test_or_commutes(self, a, b, ad):
+        left = evaluate(BinaryOp("||", a, b), ad)
+        right = evaluate(BinaryOp("||", b, a), ad)
+        assert values_identical(left, right)
+
+    @given(expressions(max_leaves=10), classads(depth=3))
+    @settings(max_examples=200, deadline=None)
+    def test_is_always_boolean(self, e, ad):
+        result = evaluate(BinaryOp("is", e, Literal(3)), ad)
+        assert result is True or result is False
+
+    @given(expressions(max_leaves=10), classads(depth=3))
+    @settings(max_examples=200, deadline=None)
+    def test_de_morgan_under_three_values(self, e, ad):
+        # !(a && b) and (!a || !b) agree whenever both are defined booleans.
+        a = e
+        b = Literal(True)
+        lhs = evaluate(UnaryOp("!", BinaryOp("&&", a, b)), ad)
+        rhs = evaluate(BinaryOp("||", UnaryOp("!", a), UnaryOp("!", b)), ad)
+        if isinstance(lhs, bool) and isinstance(rhs, bool):
+            assert lhs == rhs
+
+    @given(st.sampled_from(["+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!="]), literals)
+    @settings(max_examples=100, deadline=None)
+    def test_strict_operators_propagate_undefined(self, op, lit):
+        result = evaluate(BinaryOp(op, Literal(UNDEFINED), lit))
+        assert is_undefined(result) or is_error(result)
+        # error only possible when the *other* operand is error-typed,
+        # which `literals` never generates — so strictly undefined:
+        assert is_undefined(result)
+
+    @given(expressions(max_leaves=6), classads(depth=3))
+    @settings(max_examples=150, deadline=None)
+    def test_double_negation_on_booleans(self, e, ad):
+        value = evaluate(e, ad)
+        double = evaluate(UnaryOp("!", UnaryOp("!", e)), ad)
+        if isinstance(value, bool):
+            assert double == value
+
+
+class TestDeterminism:
+    @given(expressions(), classads(depth=4))
+    @settings(max_examples=100, deadline=None)
+    def test_evaluation_is_deterministic(self, expr, ad):
+        assert values_identical(evaluate(expr, ad), evaluate(expr, ad))
+
+    @given(classads(depth=4), classads(depth=4))
+    @settings(max_examples=100, deadline=None)
+    def test_match_predicate_symmetric(self, a, b):
+        from repro.matchmaking import constraints_satisfied
+
+        assert constraints_satisfied(a, b) == constraints_satisfied(b, a)

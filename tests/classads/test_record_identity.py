@@ -1,0 +1,53 @@
+"""Tests for `is`/`isnt` over compound values (records, lists)."""
+
+from repro.classads import ClassAd, evaluate, parse
+
+
+def ev(text, self_ad=None, other=None):
+    return evaluate(parse(text), self_ad, other=other)
+
+
+class TestRecordIdentity:
+    def test_identical_records(self):
+        assert ev("[a = 1; b = 2] is [a = 1; b = 2]") is True
+
+    def test_attribute_order_irrelevant(self):
+        assert ev("[a = 1; b = 2] is [b = 2; a = 1]") is True
+
+    def test_name_case_irrelevant(self):
+        assert ev("[A = 1] is [a = 1]") is True
+
+    def test_value_difference_detected(self):
+        assert ev("[a = 1] is [a = 2]") is False
+
+    def test_extra_attribute_detected(self):
+        assert ev("[a = 1] is [a = 1; b = 2]") is False
+
+    def test_expression_bodies_compared_structurally(self):
+        # Identity compares *unevaluated* bodies: x+1 vs 1+x differ.
+        assert ev("[v = x + 1] is [v = x + 1]") is True
+        assert ev("[v = x + 1] is [v = 1 + x]") is False
+
+    def test_record_vs_non_record(self):
+        assert ev("[a = 1] is 1") is False
+        assert ev("[a = 1] isnt {1}") is True
+
+    def test_nested_records(self):
+        assert ev("[r = [x = 1]] is [r = [x = 1]]") is True
+        assert ev("[r = [x = 1]] is [r = [x = 2]]") is False
+
+
+class TestListIdentityEdges:
+    def test_nested_lists(self):
+        assert ev("{{1}, {2}} is {{1}, {2}}") is True
+        assert ev("{{1}} is {{2}}") is False
+
+    def test_length_mismatch(self):
+        assert ev("{1, 2} is {1}") is False
+
+    def test_mixed_undefined_members(self):
+        assert ev("{undefined} is {undefined}") is True
+        assert ev("{undefined} is {error}") is False
+
+    def test_record_inside_list(self):
+        assert ev("{[a = 1]} is {[a = 1]}") is True

@@ -1,0 +1,266 @@
+"""The operator × operand-type conformance matrix.
+
+Section 3.1 defines the semantics by example; this module pins down the
+*complete* table: for every binary operator and every ordered pair of
+operand classes (boolean, integer, real, string, undefined, error, list,
+record), the result must fall in the expected class.  This is the
+machine-checkable version of DESIGN.md §5.
+
+Legend for expectations:
+  B = boolean, N = number (int or real), S = string,
+  U = undefined, E = error, * = same-as-operand rules noted inline.
+"""
+
+import pytest
+
+from repro.classads import ClassAd, evaluate, parse
+from repro.classads.values import (
+    is_boolean,
+    is_error,
+    is_number,
+    is_string,
+    is_undefined,
+)
+
+# Representative operand of each class, as source text.
+OPERANDS = {
+    "bool": "true",
+    "int": "3",
+    "real": "2.5",
+    "string": '"abc"',
+    "undef": "undefined",
+    "error": "error",
+    "list": "{1}",
+    "record": "[a = 1]",
+}
+
+CHECKS = {
+    "B": is_boolean,
+    "N": is_number,
+    "S": is_string,
+    "U": is_undefined,
+    "E": is_error,
+}
+
+
+def outcome(op, left, right):
+    return evaluate(parse(f"({OPERANDS[left]}) {op} ({OPERANDS[right]})"))
+
+
+def classify(value):
+    for label, check in CHECKS.items():
+        if check(value):
+            return label
+    if isinstance(value, list):
+        return "L"
+    return "R"
+
+
+# ---------------------------------------------------------------------------
+# arithmetic: numbers (bools promote); undefined strict; error dominant;
+# strings/lists/records are type errors.
+
+ARITH_EXPECT = {
+    # (left, right) -> class of result for + - *
+    ("bool", "bool"): "N",
+    ("bool", "int"): "N",
+    ("bool", "real"): "N",
+    ("int", "int"): "N",
+    ("int", "real"): "N",
+    ("real", "real"): "N",
+    ("string", "int"): "E",
+    ("string", "string"): "E",
+    ("list", "int"): "E",
+    ("record", "int"): "E",
+    ("undef", "int"): "U",
+    ("int", "undef"): "U",
+    ("undef", "undef"): "U",
+    ("undef", "string"): "U",  # undefined wins over the would-be type error
+    ("error", "int"): "E",
+    ("int", "error"): "E",
+    ("error", "undef"): "E",
+    ("undef", "error"): "E",
+}
+
+
+class TestArithmeticMatrix:
+    @pytest.mark.parametrize("op", ["+", "-", "*"])
+    @pytest.mark.parametrize("pair,expected", sorted(ARITH_EXPECT.items()))
+    def test_matrix(self, op, pair, expected):
+        left, right = pair
+        assert classify(outcome(op, left, right)) == expected, (op, pair)
+
+    def test_division_type_rules_match_multiplication(self):
+        for pair, expected in ARITH_EXPECT.items():
+            got = classify(outcome("/", *pair))
+            assert got == expected, pair
+
+    def test_modulus_restricts_to_integers(self):
+        assert classify(outcome("%", "int", "int")) == "N"
+        assert classify(outcome("%", "real", "int")) == "E"
+        assert classify(outcome("%", "bool", "bool")) == "N"  # bools promote
+        assert classify(outcome("%", "undef", "int")) == "U"
+
+
+# ---------------------------------------------------------------------------
+# comparisons: defined for number/number (bools promote) and
+# string/string; strict in undefined; error dominant; cross-type error.
+
+COMPARE_EXPECT = {
+    ("int", "int"): "B",
+    ("int", "real"): "B",
+    ("bool", "int"): "B",
+    ("bool", "bool"): "B",
+    ("string", "string"): "B",
+    ("string", "int"): "E",
+    ("list", "list"): "E",
+    ("record", "record"): "E",
+    ("list", "int"): "E",
+    ("undef", "int"): "U",
+    ("string", "undef"): "U",
+    ("undef", "undef"): "U",
+    ("error", "string"): "E",
+    ("undef", "error"): "E",
+}
+
+
+class TestComparisonMatrix:
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "==", "!="])
+    @pytest.mark.parametrize("pair,expected", sorted(COMPARE_EXPECT.items()))
+    def test_matrix(self, op, pair, expected):
+        left, right = pair
+        assert classify(outcome(op, left, right)) == expected, (op, pair)
+
+
+# ---------------------------------------------------------------------------
+# boolean connectives: three-valued, non-strict, non-booleans are errors
+# unless short-circuited away.
+
+AND_EXPECT = {
+    ("bool", "bool"): "B",
+    ("bool", "undef"): "U",  # true && undefined (operand is literal true)
+    ("undef", "bool"): "U",  # undefined && true
+    ("undef", "undef"): "U",
+    ("bool", "error"): "E",  # true && error
+    ("error", "bool"): "E",
+    ("int", "bool"): "E",  # numbers are not truthy
+    ("bool", "int"): "E",
+    ("string", "bool"): "E",
+    ("undef", "error"): "E",
+}
+
+
+class TestConnectiveMatrix:
+    @pytest.mark.parametrize("pair,expected", sorted(AND_EXPECT.items()))
+    def test_and(self, pair, expected):
+        left, right = pair
+        assert classify(outcome("&&", left, right)) == expected, pair
+
+    def test_and_short_circuits_false(self):
+        # false dominates everything, even error and type garbage.
+        for right in OPERANDS:
+            assert evaluate(parse(f"false && ({OPERANDS[right]})")) is False
+
+    def test_or_short_circuits_true(self):
+        for right in OPERANDS:
+            assert evaluate(parse(f"true || ({OPERANDS[right]})")) is True
+
+    def test_or_duality(self):
+        # a || b ≡ !(!a && !b) on the boolean/undefined fragment.
+        for left in ("bool", "undef"):
+            for right in ("bool", "undef"):
+                direct = evaluate(
+                    parse(f"({OPERANDS[left]}) || ({OPERANDS[right]})")
+                )
+                via_and = evaluate(
+                    parse(f"!((!({OPERANDS[left]})) && (!({OPERANDS[right]})))")
+                )
+                assert classify(direct) == classify(via_and)
+
+
+# ---------------------------------------------------------------------------
+# is / isnt: total, always boolean, for EVERY operand pair.
+
+
+class TestIdentityTotality:
+    @pytest.mark.parametrize("left", sorted(OPERANDS))
+    @pytest.mark.parametrize("right", sorted(OPERANDS))
+    def test_is_always_boolean(self, left, right):
+        result = outcome("is", left, right)
+        assert result is True or result is False
+
+    @pytest.mark.parametrize("kind", sorted(OPERANDS))
+    def test_is_reflexive_on_all_classes(self, kind):
+        assert outcome("is", kind, kind) is True
+
+    @pytest.mark.parametrize("left", sorted(OPERANDS))
+    @pytest.mark.parametrize("right", sorted(OPERANDS))
+    def test_isnt_is_negation_of_is(self, left, right):
+        assert outcome("isnt", left, right) == (not outcome("is", left, right))
+
+    def test_cross_class_identity_is_false(self):
+        kinds = sorted(OPERANDS)
+        for left in kinds:
+            for right in kinds:
+                if left != right:
+                    assert outcome("is", left, right) is False, (left, right)
+
+
+# ---------------------------------------------------------------------------
+# unary operators over every class.
+
+
+class TestUnaryMatrix:
+    UNARY_NOT = {
+        "bool": "B",
+        "int": "E",
+        "real": "E",
+        "string": "E",
+        "undef": "U",
+        "error": "E",
+        "list": "E",
+        "record": "E",
+    }
+    UNARY_MINUS = {
+        "bool": "N",
+        "int": "N",
+        "real": "N",
+        "string": "E",
+        "undef": "U",
+        "error": "E",
+        "list": "E",
+        "record": "E",
+    }
+
+    @pytest.mark.parametrize("kind,expected", sorted(UNARY_NOT.items()))
+    def test_not(self, kind, expected):
+        assert classify(evaluate(parse(f"!({OPERANDS[kind]})"))) == expected
+
+    @pytest.mark.parametrize("kind,expected", sorted(UNARY_MINUS.items()))
+    def test_minus(self, kind, expected):
+        assert classify(evaluate(parse(f"-({OPERANDS[kind]})"))) == expected
+
+    @pytest.mark.parametrize("kind,expected", sorted(UNARY_MINUS.items()))
+    def test_plus_matches_minus_typing(self, kind, expected):
+        assert classify(evaluate(parse(f"+({OPERANDS[kind]})"))) == expected
+
+
+# ---------------------------------------------------------------------------
+# conditional guard over every class.
+
+
+class TestConditionalGuardMatrix:
+    GUARD = {
+        "bool": "N",  # takes a branch → the branch's number
+        "int": "E",
+        "real": "E",
+        "string": "E",
+        "undef": "U",
+        "error": "E",
+        "list": "E",
+        "record": "E",
+    }
+
+    @pytest.mark.parametrize("kind,expected", sorted(GUARD.items()))
+    def test_guard(self, kind, expected):
+        assert classify(evaluate(parse(f"({OPERANDS[kind]}) ? 1 : 2"))) == expected

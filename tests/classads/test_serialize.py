@@ -1,0 +1,135 @@
+"""Unit + property tests for classad JSON serialization."""
+
+import json
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classads import ClassAd, UNDEFINED, is_error, is_undefined, parse
+from repro.classads.serialize import (
+    SerializationError,
+    dumps,
+    from_json_obj,
+    loads,
+    to_json_obj,
+)
+from repro.paper import figure1_machine, figure2_job
+
+
+class TestLiterals:
+    def test_scalars_encode_natively(self):
+        ad = ClassAd({"i": 3, "r": 2.5, "s": "text", "b": True})
+        obj = to_json_obj(ad)
+        assert obj == {"i": 3, "r": 2.5, "s": "text", "b": True}
+
+    def test_undefined_and_error(self):
+        ad = ClassAd({})
+        ad.set_expr("u", "undefined")
+        ad.set_expr("e", "error")
+        obj = to_json_obj(ad)
+        assert obj["u"] == {"$undefined": True}
+        assert obj["e"] == {"$error": "error"}
+        back = from_json_obj(obj)
+        assert is_undefined(back.evaluate("u"))
+        assert is_error(back.evaluate("e"))
+
+    def test_json_null_decodes_to_undefined(self):
+        ad = from_json_obj({"x": None})
+        assert is_undefined(ad.evaluate("x"))
+
+    def test_lists_and_nested_records(self):
+        ad = ClassAd({"xs": [1, "two", [3]], "rec": {"a": 1}})
+        obj = to_json_obj(ad)
+        assert obj["xs"] == [1, "two", [3]]
+        assert obj["rec"] == {"a": 1}
+        assert from_json_obj(obj) == ad
+
+
+class TestExpressions:
+    def test_expression_rides_through_source(self):
+        ad = ClassAd({})
+        ad.set_expr("Constraint", "other.Memory >= self.Memory && Rank > 0")
+        obj = to_json_obj(ad)
+        assert "$expr" in obj["Constraint"]
+        assert from_json_obj(obj) == ad
+
+    def test_figure1_round_trips(self):
+        ad = figure1_machine()
+        assert loads(dumps(ad)) == ad
+
+    def test_figure2_round_trips(self):
+        ad = figure2_job()
+        assert loads(dumps(ad)) == ad
+
+    def test_output_is_valid_json(self):
+        text = dumps(figure1_machine(), indent=2)
+        parsed = json.loads(text)
+        assert parsed["Name"] == "leonardo.cs.wisc.edu"
+
+    def test_attribute_order_preserved(self):
+        ad = ClassAd([("z", 1), ("a", 2), ("m", 3)])
+        assert list(to_json_obj(ad)) == ["z", "a", "m"]
+
+    def test_nonfinite_reals_survive(self):
+        ad = ClassAd({"x": float("inf")})
+        back = loads(dumps(ad))
+        assert back.evaluate("x") == float("inf")
+
+
+class TestErrors:
+    def test_bad_top_level(self):
+        with pytest.raises(SerializationError):
+            from_json_obj([1, 2])
+
+    def test_bad_expr_payload(self):
+        with pytest.raises(SerializationError):
+            from_json_obj({"x": {"$expr": 42}})
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SerializationError):
+            loads("{not json")
+
+
+# -- property: serialization round trip --------------------------------------
+
+_RESERVED = {"true", "false", "undefined", "error", "is", "isnt", "self", "other", "my", "target"}
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s.lower() not in _RESERVED
+)
+scalars = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=string.printable, max_size=15),
+    st.booleans(),
+    st.just(UNDEFINED),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(identifiers, children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestRoundTripProperty:
+    @given(st.dictionaries(identifiers, values, max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_value_ads_round_trip(self, payload):
+        ad = ClassAd(payload)
+        assert loads(dumps(ad)) == ad
+
+    @given(st.dictionaries(identifiers, st.sampled_from([
+        "other.Memory >= self.Memory",
+        "member(other.Owner, ResearchGroup) * 10",
+        "a ? b : c",
+        "{1, 2, 3}[i]",
+        "x is undefined",
+    ]), max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_expression_ads_round_trip(self, payload):
+        ad = ClassAd({name: parse(src) for name, src in payload.items()})
+        assert loads(dumps(ad)) == ad

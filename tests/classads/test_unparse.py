@@ -1,0 +1,110 @@
+"""Unit tests for the unparser: output style and re-parseability."""
+
+import pytest
+
+from repro.classads import ClassAd, parse, unparse, unparse_classad
+
+
+def round_trip(text):
+    expr = parse(text)
+    assert parse(unparse(expr)) == expr
+    return unparse(expr)
+
+
+class TestLiterals:
+    def test_integers(self):
+        assert unparse(parse("42")) == "42"
+
+    def test_reals(self):
+        assert unparse(parse("2.5")) == "2.5"
+
+    def test_real_round_trips_precisely(self):
+        out = round_trip("0.042969")
+        assert parse(out).value == 0.042969
+
+    def test_strings_escaped(self):
+        out = unparse(parse(r'"a\"b\n"'))
+        assert out == r'"a\"b\n"'
+        round_trip(r'"a\"b\n"')
+
+    def test_keyword_constants(self):
+        assert unparse(parse("true")) == "true"
+        assert unparse(parse("false")) == "false"
+        assert unparse(parse("undefined")) == "undefined"
+        assert unparse(parse("error")) == "error"
+
+
+class TestParenthesization:
+    def test_no_spurious_parens(self):
+        assert unparse(parse("a + b * c")) == "a + b * c"
+
+    def test_required_parens_kept(self):
+        assert unparse(parse("(a + b) * c")) == "(a + b) * c"
+
+    def test_left_assoc_needs_parens_on_right(self):
+        assert unparse(parse("a - (b - c)")) == "a - (b - c)"
+        assert unparse(parse("(a - b) - c")) == "a - b - c"
+
+    def test_conditional_nesting(self):
+        text = "a ? b : c ? d : e"
+        assert unparse(parse(text)) == text
+        round_trip("(a ? b : c) ? d : e")
+
+    def test_unary_inside_binary(self):
+        round_trip("!a && !b")
+        round_trip("-(a + b)")
+
+    def test_figure1_constraint_round_trips(self):
+        from repro.paper import FIGURE1_MACHINE
+
+        ad = ClassAd.parse(FIGURE1_MACHINE)
+        assert parse(unparse(ad["Constraint"])) == ad["Constraint"]
+
+
+class TestCompound:
+    def test_list(self):
+        assert unparse(parse('{ 1, "a" }')) == '{ 1, "a" }'
+
+    def test_empty_list(self):
+        assert unparse(parse("{}")) == "{ }"
+
+    def test_record(self):
+        assert unparse(parse("[ a = 1; b = 2 ]")) == "[ a = 1; b = 2 ]"
+
+    def test_empty_record(self):
+        assert unparse(parse("[]")) == "[ ]"
+
+    def test_selection_and_subscript(self):
+        round_trip("other.cpu.Mips")
+        round_trip("Friends[i + 1]")
+
+    def test_function_call(self):
+        assert (
+            unparse(parse("member(other.Owner, ResearchGroup)"))
+            == "member(other.Owner, ResearchGroup)"
+        )
+
+    def test_scoped_reference_prefix(self):
+        assert unparse(parse("self.Memory")) == "self.Memory"
+        assert unparse(parse("other.Memory")) == "other.Memory"
+
+
+class TestClassAdPrinting:
+    def test_multiline_figure_style(self):
+        ad = ClassAd({"Type": "Machine", "Memory": 64})
+        text = unparse_classad(ad)
+        assert text.splitlines()[0] == "["
+        assert text.splitlines()[-1] == "]"
+        assert '  Type = "Machine";' in text
+
+    def test_printed_ad_reparses_equal(self):
+        from repro.paper import figure1_machine
+
+        ad = figure1_machine()
+        assert ClassAd.parse(unparse_classad(ad)) == ad
+
+    def test_negative_literals_from_host_values(self):
+        ad = ClassAd({"x": -5, "y": -2.5})
+        again = ClassAd.parse(unparse_classad(ad))
+        assert again.evaluate("x") == -5
+        assert again.evaluate("y") == -2.5

@@ -1,0 +1,182 @@
+"""Unit tests for the collector and negotiator (S16)."""
+
+import pytest
+
+from repro.classads import ClassAd
+from repro.condor import Collector, Job, MachineSpec, Negotiator
+from repro.condor.machine import MachineAgent
+from repro.matchmaking import Accountant
+from repro.protocols import Advertisement, MatchNotification, Withdrawal
+from repro.sim import Network, RngStream, Simulator, Trace
+
+
+def machine_ad(name, memory=64, state="Unclaimed"):
+    ad = ClassAd(
+        {
+            "Type": "Machine",
+            "Name": name,
+            "Arch": "INTEL",
+            "OpSys": "SOLARIS251",
+            "Memory": memory,
+            "State": state,
+            "ContactAddress": f"startd@{name}",
+        }
+    )
+    ad.set_expr("Constraint", 'other.Type == "Job"')
+    return ad
+
+
+def job_ad(owner, job_id, memory=32, qdate=0):
+    ad = ClassAd(
+        {
+            "Type": "Job",
+            "JobId": job_id,
+            "Owner": owner,
+            "Memory": memory,
+            "QDate": qdate,
+            "ContactAddress": f"schedd@{owner}",
+        }
+    )
+    ad.set_expr("Constraint", 'other.Type == "Machine" && other.Memory >= self.Memory')
+    return ad
+
+
+def advertise(net, name, ad, lifetime=900.0, sequence=1):
+    net.send(
+        Advertisement(
+            sender="x",
+            recipient="collector@cm",
+            name=name,
+            ad=ad,
+            lifetime=lifetime,
+            sequence=sequence,
+        )
+    )
+
+
+class TestCollector:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.net = Network(self.sim, rng=RngStream(1), latency=0.01)
+        self.collector = Collector(self.sim, self.net, trace=Trace())
+
+    def test_admits_conforming_ads(self):
+        advertise(self.net, "machine.m0", machine_ad("m0"))
+        self.sim.run_until(1.0)
+        assert self.collector.ads_admitted == 1
+        assert len(self.collector.machine_ads()) == 1
+
+    def test_rejects_nonconforming_ads(self):
+        advertise(self.net, "bad", ClassAd({"Memory": 4}))
+        self.sim.run_until(1.0)
+        assert self.collector.ads_rejected == 1
+        assert len(self.collector.store) == 0
+
+    def test_withdrawal(self):
+        advertise(self.net, "machine.m0", machine_ad("m0"))
+        self.sim.run_until(1.0)
+        self.net.send(Withdrawal(sender="x", recipient="collector@cm", name="machine.m0"))
+        self.sim.run_until(2.0)
+        assert len(self.collector.store) == 0
+
+    def test_expiry_reaps_unrefreshed_ads(self):
+        advertise(self.net, "machine.m0", machine_ad("m0"), lifetime=100.0)
+        self.sim.run_until(1.0)
+        assert len(self.collector.store) == 1
+        self.sim.run_until(200.0)  # expire task runs every 60s
+        assert len(self.collector.store) == 0
+        assert self.collector.trace.count("ad-expired") == 1
+
+    def test_job_ads_grouped_and_ordered(self):
+        advertise(self.net, "job.b.2", job_ad("bob", 2, qdate=50), sequence=1)
+        advertise(self.net, "job.a.1", job_ad("alice", 1, qdate=10), sequence=2)
+        advertise(self.net, "job.a.3", job_ad("alice", 3, qdate=5), sequence=3)
+        self.sim.run_until(1.0)
+        grouped = self.collector.job_ads_by_owner()
+        assert set(grouped) == {"alice", "bob"}
+        assert [ad.evaluate("JobId") for ad in grouped["alice"]] == [3, 1]
+
+    def test_query(self):
+        advertise(self.net, "machine.m0", machine_ad("m0", memory=64))
+        advertise(self.net, "machine.m1", machine_ad("m1", memory=16), sequence=2)
+        self.sim.run_until(1.0)
+        assert len(self.collector.query("Memory >= 32")) == 1
+
+    def test_crash_loses_soft_state(self):
+        advertise(self.net, "machine.m0", machine_ad("m0"))
+        self.sim.run_until(1.0)
+        self.collector.crash()
+        assert len(self.collector.store) == 0
+        advertise(self.net, "machine.m0", machine_ad("m0"), sequence=2)
+        self.sim.run_until(2.0)
+        assert len(self.collector.store) == 0  # still down: message lost
+        self.collector.recover()
+        advertise(self.net, "machine.m0", machine_ad("m0"), sequence=3)
+        self.sim.run_until(3.0)
+        assert len(self.collector.store) == 1
+
+
+class TestNegotiator:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.net = Network(self.sim, rng=RngStream(1), latency=0.01)
+        self.trace = Trace()
+        self.collector = Collector(self.sim, self.net, trace=self.trace)
+        self.accountant = Accountant(half_life=3600.0)
+        self.negotiator = Negotiator(
+            self.sim,
+            self.net,
+            self.collector,
+            trace=self.trace,
+            cycle_interval=300.0,
+            accountant=self.accountant,
+        )
+        self.customer_inbox = []
+        self.provider_inbox = []
+        self.net.register("schedd@alice", self.customer_inbox.append)
+        self.net.register("startd@m0", self.provider_inbox.append)
+
+    def test_cycle_matches_and_notifies_both_parties(self):
+        advertise(self.net, "machine.m0", machine_ad("m0"))
+        advertise(self.net, "job.alice.1", job_ad("alice", 1), sequence=2)
+        self.sim.run_until(301.0)
+        customer_notes = [
+            m for m in self.customer_inbox if isinstance(m, MatchNotification)
+        ]
+        provider_notes = [
+            m for m in self.provider_inbox if isinstance(m, MatchNotification)
+        ]
+        assert len(customer_notes) == 1
+        assert len(provider_notes) == 1
+        assert customer_notes[0].match_id == provider_notes[0].match_id
+        assert customer_notes[0].peer_address == "startd@m0"
+
+    def test_no_requests_no_matches(self):
+        advertise(self.net, "machine.m0", machine_ad("m0"))
+        self.sim.run_until(301.0)
+        assert self.negotiator.cycles_run == 1
+        assert self.negotiator.total_matches == 0
+
+    def test_crashed_negotiator_skips_cycles(self):
+        advertise(self.net, "machine.m0", machine_ad("m0"))
+        advertise(self.net, "job.alice.1", job_ad("alice", 1), sequence=2)
+        self.negotiator.crash()
+        self.sim.run_until(301.0)
+        assert self.negotiator.total_matches == 0
+        self.negotiator.recover()
+        self.sim.run_until(601.0)
+        assert self.negotiator.total_matches == 1
+
+    def test_owner_state_machines_never_matched(self):
+        advertise(self.net, "machine.m0", machine_ad("m0", state="Owner"))
+        advertise(self.net, "job.alice.1", job_ad("alice", 1), sequence=2)
+        self.sim.run_until(301.0)
+        assert self.negotiator.total_matches == 0
+
+    def test_notification_carries_both_ads(self):
+        advertise(self.net, "machine.m0", machine_ad("m0"))
+        advertise(self.net, "job.alice.1", job_ad("alice", 1), sequence=2)
+        self.sim.run_until(301.0)
+        note = self.customer_inbox[0]
+        assert note.peer_ad.evaluate("Name") == "m0"
+        assert note.my_ad.evaluate("JobId") == 1

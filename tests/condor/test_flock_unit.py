@@ -1,0 +1,79 @@
+"""Unit tests for the Flock harness (S28)."""
+
+import pytest
+
+from repro.condor import Job, MachineSpec, PoolConfig
+from repro.condor.flocking import Flock
+
+
+class TestFlockConstruction:
+    def test_empty_flock_rejected(self):
+        with pytest.raises(ValueError):
+            Flock({})
+
+    def test_pools_share_one_simulator_and_network(self):
+        flock = Flock(
+            {
+                "a": [MachineSpec(name="a0")],
+                "b": [MachineSpec(name="b0")],
+            }
+        )
+        pool_a, pool_b = flock.pools["a"], flock.pools["b"]
+        assert pool_a.sim is pool_b.sim is flock.sim
+        assert pool_a.net is pool_b.net is flock.net
+        assert pool_a.trace is pool_b.trace is flock.trace
+
+    def test_central_managers_have_distinct_addresses(self):
+        flock = Flock(
+            {
+                "a": [MachineSpec(name="a0")],
+                "b": [MachineSpec(name="b0")],
+            }
+        )
+        assert flock.pools["a"].collector.address == "collector@a"
+        assert flock.pools["b"].collector.address == "collector@b"
+        assert flock.pools["a"].negotiator.address != flock.pools["b"].negotiator.address
+
+    def test_flock_collectors_point_at_the_other_pools(self):
+        flock = Flock(
+            {
+                "a": [MachineSpec(name="a0")],
+                "b": [MachineSpec(name="b0")],
+                "c": [MachineSpec(name="c0")],
+            }
+        )
+        assert sorted(flock.pools["a"].flock_collectors) == [
+            "collector@b",
+            "collector@c",
+        ]
+
+    def test_submit_routes_to_home_pool(self):
+        flock = Flock(
+            {
+                "a": [MachineSpec(name="a0")],
+                "b": [MachineSpec(name="b0")],
+            }
+        )
+        job = Job(owner="alice", total_work=100.0)
+        flock.submit("a", job)
+        assert "alice" in flock.pools["a"].schedds
+        assert "alice" not in flock.pools["b"].schedds
+
+    def test_threshold_applied_to_schedds(self):
+        flock = Flock(
+            {"a": [MachineSpec(name="a0")], "b": [MachineSpec(name="b0")]},
+            flock_threshold=123.0,
+        )
+        flock.submit("a", Job(owner="alice", total_work=1.0))
+        assert flock.pools["a"].schedds["alice"].flock_threshold == 123.0
+
+    def test_jobs_and_completed_aggregate_across_pools(self):
+        flock = Flock(
+            {"a": [MachineSpec(name="a0")], "b": [MachineSpec(name="b0")]},
+            PoolConfig(seed=1, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        flock.submit("a", Job(owner="alice", total_work=60.0))
+        flock.submit("b", Job(owner="bob", total_work=60.0))
+        flock.run_until_quiescent(check_interval=60.0, max_time=10_000.0)
+        assert len(flock.jobs()) == 2
+        assert flock.completed() == 2

@@ -1,0 +1,126 @@
+"""Unit tests for machine/job state machines and the job model."""
+
+import pytest
+
+from repro.condor import Job, JobState, MachineState, check_machine_transition, execution_time
+from repro.condor.jobs import REFERENCE_MIPS
+
+
+class TestMachineTransitions:
+    @pytest.mark.parametrize(
+        "old,new",
+        [
+            (MachineState.OWNER, MachineState.UNCLAIMED),
+            (MachineState.UNCLAIMED, MachineState.OWNER),
+            (MachineState.UNCLAIMED, MachineState.CLAIMED),
+            (MachineState.CLAIMED, MachineState.OWNER),
+            (MachineState.CLAIMED, MachineState.UNCLAIMED),
+            (MachineState.CLAIMED, MachineState.CLAIMED),  # preemption
+        ],
+    )
+    def test_legal(self, old, new):
+        check_machine_transition(old, new)
+
+    @pytest.mark.parametrize(
+        "old,new",
+        [
+            (MachineState.OWNER, MachineState.CLAIMED),  # must go via UNCLAIMED
+            (MachineState.OWNER, MachineState.OWNER),
+            (MachineState.UNCLAIMED, MachineState.UNCLAIMED),
+        ],
+    )
+    def test_illegal(self, old, new):
+        with pytest.raises(AssertionError):
+            check_machine_transition(old, new)
+
+
+class TestJobModel:
+    def test_ids_are_unique(self):
+        a, b = Job(owner="x", total_work=1), Job(owner="x", total_work=1)
+        assert a.job_id != b.job_id
+
+    def test_remaining_work_tracks_checkpoints(self):
+        job = Job(owner="x", total_work=100.0)
+        assert job.remaining_work == 100.0
+        job.completed_work = 30.0
+        assert job.remaining_work == 70.0
+
+    def test_remaining_never_negative(self):
+        job = Job(owner="x", total_work=100.0)
+        job.completed_work = 150.0
+        assert job.remaining_work == 0.0
+
+    def test_wait_and_turnaround(self):
+        job = Job(owner="x", total_work=10)
+        job.submit_time = 100.0
+        assert job.wait_time() is None
+        assert job.turnaround() is None
+        job.first_start_time = 160.0
+        job.completion_time = 300.0
+        assert job.wait_time() == 60.0
+        assert job.turnaround() == 200.0
+
+    def test_execution_time_scales_with_mips(self):
+        job = Job(owner="x", total_work=1000.0)
+        assert execution_time(job, REFERENCE_MIPS) == pytest.approx(1000.0)
+        assert execution_time(job, 2 * REFERENCE_MIPS) == pytest.approx(500.0)
+
+    def test_execution_time_uses_remaining(self):
+        job = Job(owner="x", total_work=1000.0)
+        job.completed_work = 500.0
+        assert execution_time(job, REFERENCE_MIPS) == pytest.approx(500.0)
+
+    def test_invalid_mips(self):
+        with pytest.raises(ValueError):
+            execution_time(Job(owner="x", total_work=1), 0)
+
+
+class TestJobClassAd:
+    def test_ad_shape(self):
+        job = Job(owner="raman", total_work=500, memory=31)
+        job.submit_time = 42.0
+        ad = job.to_classad("schedd@beak", now=50.0)
+        assert ad.evaluate("Type") == "Job"
+        assert ad.evaluate("Owner") == "raman"
+        assert ad.evaluate("Memory") == 31
+        assert ad.evaluate("ContactAddress") == "schedd@beak"
+        assert ad.evaluate("QDate") == 42
+        assert ad.evaluate("WantCheckpoint") == 1
+
+    def test_default_constraint_selects_platform(self):
+        from repro.classads import is_true
+        from repro.condor import MachineSpec
+        from repro.condor.machine import MachineAgent  # for ad shape only
+        from repro.classads import ClassAd
+
+        job = Job(owner="r", total_work=1, req_arch="SPARC", req_opsys="SOLARIS251", memory=32)
+        ad = job.to_classad("s@x", 0.0)
+        sparc = ClassAd({"Type": "Machine", "Arch": "SPARC", "OpSys": "SOLARIS251", "Memory": 64})
+        intel = ClassAd({"Type": "Machine", "Arch": "INTEL", "OpSys": "SOLARIS251", "Memory": 64})
+        assert is_true(ad.evaluate("Constraint", other=sparc))
+        assert not is_true(ad.evaluate("Constraint", other=intel))
+
+    def test_memory_requirement(self):
+        from repro.classads import ClassAd, is_true
+
+        job = Job(owner="r", total_work=1, memory=128)
+        ad = job.to_classad("s@x", 0.0)
+        small = ClassAd({"Type": "Machine", "Arch": "INTEL", "OpSys": "SOLARIS251", "Memory": 64})
+        assert not is_true(ad.evaluate("Constraint", other=small))
+
+    def test_rank_prefers_fast_machines(self):
+        from repro.classads import ClassAd, rank_value
+
+        job = Job(owner="r", total_work=1)
+        ad = job.to_classad("s@x", 0.0)
+        slow = ClassAd({"KFlops": 1000, "Memory": 64})
+        fast = ClassAd({"KFlops": 90000, "Memory": 64})
+        assert rank_value(ad.evaluate("Rank", other=fast)) > rank_value(
+            ad.evaluate("Rank", other=slow)
+        )
+
+    def test_remaining_work_advertised(self):
+        job = Job(owner="r", total_work=100.0)
+        job.completed_work = 40.0
+        ad = job.to_classad("s@x", 0.0)
+        assert ad.evaluate("RemainingWork") == pytest.approx(60.0)

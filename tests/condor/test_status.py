@@ -1,0 +1,144 @@
+"""Unit tests for the status tools (one-way matching views, Section 4)."""
+
+import pytest
+
+from repro.classads import ClassAd
+from repro.condor.status import browse, format_userprio, machine_status, queue_status
+from repro.matchmaking import Accountant
+
+
+def machine(name, arch="INTEL", state="Unclaimed", memory=64):
+    return ClassAd(
+        {
+            "Type": "Machine",
+            "Name": name,
+            "Arch": arch,
+            "OpSys": "SOLARIS251",
+            "State": state,
+            "Activity": "Idle",
+            "Memory": memory,
+            "LoadAvg": 0.05,
+            "KeyboardIdle": 1432,
+        }
+    )
+
+
+def job(job_id, owner, cmd="run_sim"):
+    return ClassAd(
+        {
+            "Type": "Job",
+            "JobId": job_id,
+            "Owner": owner,
+            "Cmd": cmd,
+            "Memory": 31,
+            "ReqArch": "INTEL",
+            "RemainingWork": 600.0,
+        }
+    )
+
+
+class TestMachineStatus:
+    def test_renders_rows_and_summary(self):
+        ads = [machine("m0"), machine("m1", state="Claimed"), job(1, "raman")]
+        text = machine_status(ads)
+        assert "m0" in text and "m1" in text
+        assert "raman" not in text  # jobs filtered out
+        assert "Total 2 machines" in text
+        assert "1 Claimed" in text and "1 Unclaimed" in text
+
+    def test_constraint_filters(self):
+        ads = [machine("m0", memory=64), machine("m1", memory=16)]
+        text = machine_status(ads, constraint="Memory >= 32")
+        assert "m0" in text and "m1" not in text
+
+    def test_empty_pool(self):
+        text = machine_status([])
+        assert "no machines" in text
+        assert "Total 0 machines" in text
+
+    def test_missing_attribute_rendered_as_placeholder(self):
+        bare = ClassAd({"Type": "Machine", "Name": "mystery"})
+        text = machine_status([bare])
+        assert "[?]" in text
+
+
+class TestQueueStatus:
+    def test_lists_jobs(self):
+        ads = [job(1, "raman"), job(2, "miron"), machine("m0")]
+        text = queue_status(ads)
+        assert "raman" in text and "miron" in text
+        assert "m0" not in text
+
+    def test_owner_filter(self):
+        ads = [job(1, "raman"), job(2, "miron")]
+        text = queue_status(ads, owner="raman")
+        assert "raman" in text and "miron" not in text
+
+    def test_empty(self):
+        assert "no idle jobs" in queue_status([machine("m0")])
+
+
+class TestBrowse:
+    def test_generic_constraint(self):
+        ads = [machine("m0"), job(1, "raman")]
+        found = browse(ads, 'Type == "Job"')
+        assert len(found) == 1
+        assert found[0].evaluate("Owner") == "raman"
+
+
+class TestUserprio:
+    def test_renders_accountant(self):
+        acc = Accountant(half_life=100)
+        acc.resource_claimed("raman")
+        acc.record("miron")
+        acc.advance_to(300)
+        text = format_userprio(acc)
+        assert "raman" in text and "miron" in text
+        assert "EffPrio" in text
+
+    def test_live_pool_views(self):
+        """Smoke: the views work straight off a running pool's collector."""
+        from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
+
+        pool = CondorPool(
+            [MachineSpec(name="m0"), MachineSpec(name="m1")],
+            PoolConfig(seed=1, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        pool.submit(Job(owner="raman", total_work=5_000.0))
+        pool.submit(Job(owner="raman", total_work=5_000.0))
+        pool.submit(Job(owner="raman", total_work=5_000.0))
+        pool.run_until(120.0)
+        ads = pool.collector.store.ads()
+        status = machine_status(ads)
+        assert "Total 2 machines" in status
+        queue = queue_status(ads)  # the job still idle is advertised
+        assert "raman" in queue
+
+
+class TestJobHistory:
+    def test_history_lists_terminal_jobs(self):
+        from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
+        from repro.condor.status import job_history
+
+        pool = CondorPool(
+            [MachineSpec(name="m0")],
+            PoolConfig(seed=1, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        done_job = Job(owner="raman", total_work=100.0)
+        removed_job = Job(owner="raman", total_work=100.0)
+        running_job = Job(owner="raman", total_work=50_000.0)
+        for job in (done_job, removed_job, running_job):
+            pool.submit(job)
+        pool.schedds["raman"].remove(removed_job.job_id)
+        pool.run_until(600.0)
+        text = job_history(pool.jobs())
+        listed_ids = {line.split()[0] for line in text.splitlines()[1:] if line.strip()}
+        assert str(done_job.job_id) in listed_ids
+        assert str(removed_job.job_id) in listed_ids
+        assert str(running_job.job_id) not in listed_ids
+        assert "Completed" in text and "Removed" in text
+
+    def test_history_owner_filter_and_empty(self):
+        from repro.condor.status import job_history
+
+        assert "no finished jobs" in job_history([])

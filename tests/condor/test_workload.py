@@ -1,0 +1,173 @@
+"""Unit tests for the workload/pool generators and owner models (S17, S27)."""
+
+import pytest
+
+from repro.classads import ClassAd, is_true
+from repro.condor import (
+    FIGURE1_POLICY_CONSTRAINT,
+    JobProfile,
+    NeverPresentOwner,
+    OfficeHoursOwner,
+    PoissonOwner,
+    PoolProfile,
+    generate_jobs,
+    generate_policy_pool,
+    generate_pool,
+    poisson_arrival_times,
+)
+from repro.sim import RngStream
+
+
+class TestGeneratePool:
+    def test_count_and_names(self):
+        specs = generate_pool(RngStream(1), 25)
+        assert len(specs) == 25
+        assert specs[0].name == "vm0000"
+        assert len({s.name for s in specs}) == 25
+
+    def test_platforms_come_from_profile(self):
+        profile = PoolProfile(platforms=(("INTEL", "LINUX", 1.0),))
+        specs = generate_pool(RngStream(1), 10, profile)
+        assert all(s.arch == "INTEL" and s.opsys == "LINUX" for s in specs)
+
+    def test_attribute_ranges_respected(self):
+        profile = PoolProfile(mips_range=(100.0, 200.0), disk_range=(10, 20))
+        specs = generate_pool(RngStream(2), 50, profile)
+        assert all(100.0 <= s.mips <= 200.0 for s in specs)
+        assert all(10 <= s.disk <= 20 for s in specs)
+        assert all(s.kflops == pytest.approx(s.mips * profile.kflops_per_mips) for s in specs)
+
+    def test_deterministic_given_stream(self):
+        a = generate_pool(RngStream(7), 10)
+        b = generate_pool(RngStream(7), 10)
+        assert [(s.arch, s.memory, s.mips) for s in a] == [
+            (s.arch, s.memory, s.mips) for s in b
+        ]
+
+    def test_platform_mix_roughly_matches_weights(self):
+        specs = generate_pool(RngStream(3), 400)
+        intel = sum(1 for s in specs if s.arch == "INTEL")
+        # default weights give INTEL 70%; allow generous slack
+        assert 0.6 < intel / 400 < 0.8
+
+
+class TestGeneratePolicyPool:
+    def test_policy_attached_round_robin(self):
+        specs = generate_policy_pool(
+            RngStream(1),
+            4,
+            groups=[["a1"], ["b1"]],
+            friends=["f"],
+            untrusted=["u"],
+        )
+        assert all(s.constraint == FIGURE1_POLICY_CONSTRAINT for s in specs)
+        assert specs[0].extra_attrs["ResearchGroup"] == ["a1"]
+        assert specs[1].extra_attrs["ResearchGroup"] == ["b1"]
+        assert specs[2].extra_attrs["ResearchGroup"] == ["a1"]
+        assert all(s.extra_attrs["Friends"] == ["f"] for s in specs)
+
+    def test_generated_policy_actually_discriminates(self):
+        spec = generate_policy_pool(
+            RngStream(1), 1, groups=[["raman"]], untrusted=["riffraff"]
+        )[0]
+        machine = ClassAd(
+            {
+                "Type": "Machine",
+                "DayTime": 12 * 3600,
+                "KeyboardIdle": 1800,
+                "LoadAvg": 0.05,
+                **spec.extra_attrs,
+            }
+        )
+        machine.set_expr("Constraint", spec.constraint)
+        machine.set_expr("Rank", spec.rank)
+        member = ClassAd({"Type": "Job", "Owner": "raman"})
+        untrusted = ClassAd({"Type": "Job", "Owner": "riffraff"})
+        assert is_true(machine.evaluate("Constraint", other=member))
+        assert not is_true(machine.evaluate("Constraint", other=untrusted))
+
+
+class TestGenerateJobs:
+    def test_ownership_and_count(self):
+        jobs = generate_jobs(RngStream(1), "raman", 20)
+        assert len(jobs) == 20
+        assert all(j.owner == "raman" for j in jobs)
+
+    def test_work_floor(self):
+        jobs = generate_jobs(RngStream(1), "x", 200, JobProfile(mean_work=30.0))
+        assert all(j.total_work >= 60.0 for j in jobs)
+
+    def test_checkpoint_fraction(self):
+        always = generate_jobs(
+            RngStream(1), "x", 50, JobProfile(want_checkpoint_fraction=1.0)
+        )
+        never = generate_jobs(
+            RngStream(1), "x", 50, JobProfile(want_checkpoint_fraction=0.0)
+        )
+        assert all(j.want_checkpoint for j in always)
+        assert not any(j.want_checkpoint for j in never)
+
+
+class TestArrivals:
+    def test_monotone_and_counted(self):
+        times = poisson_arrival_times(RngStream(1), 100, rate=0.01)
+        assert len(times) == 100
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_start_offset(self):
+        times = poisson_arrival_times(RngStream(1), 10, rate=0.01, start=500.0)
+        assert all(t > 500.0 for t in times)
+
+    def test_mean_interarrival_near_rate(self):
+        times = poisson_arrival_times(RngStream(2), 2000, rate=0.1)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(10.0, rel=0.15)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(RngStream(1), 1, rate=0.0)
+
+
+class TestOwnerModels:
+    def test_never_present(self):
+        model = NeverPresentOwner()
+        active, until = model.first_event(RngStream(1))
+        assert not active
+        assert until == float("inf")
+
+    def test_poisson_phases_positive(self):
+        model = PoissonOwner(mean_active=100.0, mean_idle=300.0)
+        rng = RngStream(1)
+        assert model.active_duration(rng) > 0
+        assert model.idle_duration(rng) > 0
+
+    def test_poisson_stationary_start_distribution(self):
+        model = PoissonOwner(mean_active=100.0, mean_idle=300.0)
+        starts = [model.first_event(RngStream(i))[0] for i in range(400)]
+        active_fraction = sum(starts) / len(starts)
+        assert active_fraction == pytest.approx(0.25, abs=0.08)
+
+    def test_poisson_invalid_params(self):
+        with pytest.raises(ValueError):
+            PoissonOwner(mean_active=0.0)
+
+    def test_office_hours_schedule(self):
+        model = OfficeHoursOwner(start=9 * 3600, end=17 * 3600, jitter=0.0)
+        rng = RngStream(1)
+        active, until = model.first_event(rng)
+        assert not active
+        assert until == 9 * 3600
+        assert model.active_duration(rng) == 8 * 3600
+        assert model.idle_duration(rng) == 16 * 3600
+
+    def test_office_hours_jitter_is_per_machine_constant(self):
+        model = OfficeHoursOwner(jitter=1800.0)
+        rng = RngStream(5)
+        first = model.active_duration(rng)
+        second = model.active_duration(rng)
+        assert first == second  # jitter drawn once, then frozen
+
+    def test_office_hours_validation(self):
+        with pytest.raises(ValueError):
+            OfficeHoursOwner(start=17 * 3600, end=9 * 3600)

@@ -1,0 +1,115 @@
+"""Integration: claim leases — surviving a dead customer agent.
+
+Condor's ALIVE protocol: the schedd refreshes every active claim
+periodically; a startd whose claim stops hearing keep-alives concludes
+the customer is gone and reclaims the machine.  Without this, a crashed
+CA would strand a workstation in Claimed state forever — violating the
+owner's expectations, which the whole system exists to protect.
+"""
+
+import pytest
+
+from repro.condor import CondorPool, Job, MachineSpec, MachineState, PoolConfig
+from repro.condor.machine import MachineAgent
+from repro.condor.messages import KeepAlive
+from repro.protocols import ClaimRequest
+from repro.sim import Network, RngStream, Simulator
+
+
+class TestLeaseMechanism:
+    def make_claimed_agent(self, claim_lease=120.0):
+        sim = Simulator()
+        net = Network(sim, rng=RngStream(1), latency=0.01)
+        net.register("collector@cm", lambda m: None)
+        inbox = []
+        net.register("schedd@alice", inbox.append)
+        agent = MachineAgent(
+            sim, net, MachineSpec(name="m0"), collector_address="collector@cm",
+            rng=RngStream(2),
+        )
+        agent.claim_lease = claim_lease
+        agent.start()
+        sim.run_until(1.0)
+        job = Job(owner="alice", total_work=100_000.0)
+        net.send(
+            ClaimRequest(
+                sender="schedd@alice",
+                recipient=agent.address,
+                customer_ad=job.to_classad("schedd@alice", sim.now),
+                ticket=agent.authority.current,
+                match_id=77,
+            )
+        )
+        sim.run_until(2.0)
+        assert agent.state is MachineState.CLAIMED
+        return sim, net, agent
+
+    def test_lease_expires_without_keepalives(self):
+        sim, net, agent = self.make_claimed_agent(claim_lease=120.0)
+        sim.run_until(400.0)  # > lease with no ALIVEs
+        assert agent.state is MachineState.UNCLAIMED
+        assert agent.evictions_lease == 1
+
+    def test_keepalives_sustain_the_claim(self):
+        sim, net, agent = self.make_claimed_agent(claim_lease=120.0)
+        # Simulate the CA's ALIVE stream by hand.
+        def alive():
+            net.send(
+                KeepAlive(sender="schedd@alice", recipient=agent.address, match_id=77)
+            )
+
+        sim.every(60.0, alive)
+        sim.run_until(1_000.0)
+        assert agent.state is MachineState.CLAIMED
+        assert agent.evictions_lease == 0
+
+    def test_keepalive_for_wrong_match_ignored(self):
+        sim, net, agent = self.make_claimed_agent(claim_lease=120.0)
+        sim.every(
+            60.0,
+            lambda: net.send(
+                KeepAlive(sender="x", recipient=agent.address, match_id=999)
+            ),
+        )
+        sim.run_until(400.0)
+        assert agent.evictions_lease == 1
+
+    def test_lease_disabled(self):
+        sim, net, agent = self.make_claimed_agent(claim_lease=None)
+        sim.run_until(2_000.0)
+        assert agent.state is MachineState.CLAIMED  # stranded, by design
+
+
+class TestDeadScheddRecovery:
+    def test_machine_reclaimed_and_reused_after_ca_crash(self):
+        """alice's CA dies mid-run; her claim leases out; bob's queued
+        job then gets the machine."""
+        pool = CondorPool(
+            [MachineSpec(name="m0")],
+            PoolConfig(seed=8, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        pool.submit(Job(owner="alice", total_work=50_000.0))
+        pool.submit(Job(owner="bob", total_work=300.0), at=100.0)
+        pool.crash_schedd("alice", at=90.0)  # never comes back
+        pool.run_until(3_000.0)
+        machine = pool.machines["m0"]
+        assert machine.evictions_lease == 1
+        bob_jobs = [j for j in pool.jobs() if j.owner == "bob"]
+        assert bob_jobs[0].done
+
+    def test_revived_schedd_requeues_and_finishes(self):
+        """The CA comes back after its claim leased out: the job (whose
+        eviction notice it never received) would be stuck RUNNING — the
+        periodic ad refresh doesn't cover running jobs — so recovery
+        relies on the machine's capped teardown retries reaching the
+        revived CA."""
+        pool = CondorPool(
+            [MachineSpec(name="m0")],
+            PoolConfig(seed=8, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        job = Job(owner="alice", total_work=5_000.0, want_checkpoint=True)
+        pool.submit(job)
+        pool.crash_schedd("alice", at=90.0, duration=600.0)
+        pool.run_until_quiescent(check_interval=300.0, max_time=100_000.0)
+        assert job.done
+        assert pool.machines["m0"].evictions_lease == 1

@@ -1,0 +1,99 @@
+"""Integration: fair matching from past usage (E4).
+
+Section 4: "The matchmaking algorithm also uses past resource usage
+information to enforce a fair matching policy."
+
+Two users contending for a saturated pool should converge to shares
+weighted by their priority factors; a newcomer should be served before
+an incumbent heavy user.
+"""
+
+import pytest
+
+from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
+
+
+def contended_pool(n_machines=4, seed=17, half_life=1_800.0):
+    specs = [MachineSpec(name=f"m{i}", mips=100.0) for i in range(n_machines)]
+    return CondorPool(
+        specs,
+        PoolConfig(
+            seed=seed,
+            advertise_interval=120.0,
+            negotiation_interval=120.0,
+            priority_half_life=half_life,
+            allow_preemption=False,  # isolate fair-share ordering
+        ),
+    )
+
+
+def flood(pool, owner, n_jobs, work=600.0, at=None):
+    for _ in range(n_jobs):
+        pool.submit(Job(owner=owner, total_work=work), at=at)
+
+
+class TestEqualUsersSplitEvenly:
+    def test_two_equal_users_get_similar_shares(self):
+        pool = contended_pool()
+        flood(pool, "alice", 60)
+        flood(pool, "bob", 60)
+        pool.run_until(24 * 3600.0)
+        shares = pool.machine_share_by_owner()
+        assert shares["alice"] == pytest.approx(0.5, abs=0.12)
+        assert shares["bob"] == pytest.approx(0.5, abs=0.12)
+
+    def test_priorities_track_usage(self):
+        pool = contended_pool()
+        flood(pool, "alice", 60)
+        flood(pool, "bob", 60)
+        pool.run_until(6 * 3600.0)
+        # Both used ~half the pool; both priorities well above the floor.
+        for user in ("alice", "bob"):
+            assert pool.accountant.effective_priority(user) > 1.0
+
+
+class TestNewcomerBeatsIncumbent:
+    def test_fresh_user_served_first_after_heavy_usage(self):
+        pool = contended_pool(n_machines=2)
+        flood(pool, "hog", 40)
+        pool.run_until(4 * 3600.0)  # hog has monopolized the pool
+        hog_priority = pool.accountant.effective_priority("hog")
+        assert hog_priority > 1.5
+        flood(pool, "newbie", 2, work=300.0, at=4 * 3600.0 + 1.0)
+        pool.run_until(4 * 3600.0 + 1_800.0)
+        newbie_jobs = [j for j in pool.jobs() if j.owner == "newbie"]
+        # The newcomer's jobs ran promptly despite the hog's full queue.
+        assert any(j.done or j.first_start_time is not None for j in newbie_jobs)
+        started = [j for j in newbie_jobs if j.first_start_time is not None]
+        assert started
+        # They were matched in the first or second cycle after arrival.
+        assert min(j.first_start_time for j in started) < 4 * 3600.0 + 600.0
+
+
+class TestPriorityFactors:
+    def test_factor_weighted_shares(self):
+        """A user with priority factor 4 should receive roughly a quarter
+        of the share of a factor-1 user in steady state."""
+        pool = contended_pool(n_machines=4, half_life=900.0)
+        pool.accountant.set_priority_factor("vip", 1.0)
+        pool.accountant.set_priority_factor("guest", 4.0)
+        # Far more work than 12h of pool capacity: the backlog never
+        # drains, so delivered shares reflect the fair-share policy
+        # rather than everyone simply finishing.
+        flood(pool, "vip", 120, work=3_600.0)
+        flood(pool, "guest", 120, work=3_600.0)
+        pool.run_until(12 * 3600.0)
+        shares = pool.machine_share_by_owner()
+        assert shares["vip"] > shares["guest"]
+        ratio = shares["vip"] / max(shares["guest"], 1e-9)
+        # The up-down algorithm oscillates; accept a broad band around 4×.
+        assert 1.5 < ratio < 10.0
+
+    def test_usage_report_orders_users(self):
+        pool = contended_pool(n_machines=2)
+        flood(pool, "worker", 20)
+        pool.accountant.record("idler")  # known submitter, zero usage
+        pool.run_until(2 * 3600.0)
+        report = pool.accountant.usage_report()
+        names = [row[0] for row in report]
+        assert names.index("idler") < names.index("worker")

@@ -1,0 +1,135 @@
+"""Integration: the Figure 3 protocol, end to end (experiment F3).
+
+One provider, one requestor, one matchmaker.  The trace must show the
+paper's four steps in causal order:
+
+  (1) advertisement → (2) match → (3) match notification → (4) claiming
+
+and the claim must carry the authorization ticket the RA supplied with
+its ad (Section 4).
+"""
+
+import pytest
+
+from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
+
+
+@pytest.fixture()
+def pool():
+    pool = CondorPool(
+        [MachineSpec(name="leonardo", mips=104.0, kflops=21893.0)],
+        PoolConfig(seed=7, advertise_interval=60.0, negotiation_interval=60.0),
+    )
+    pool.submit(Job(owner="raman", total_work=300.0, memory=31))
+    pool.run_until_quiescent(check_interval=60.0, max_time=50_000.0)
+    return pool
+
+
+class TestFigure3Sequence:
+    def test_all_four_steps_present(self, pool):
+        trace = pool.trace
+        assert trace.count("advertise-machine") > 0  # step 1 (provider)
+        assert trace.count("advertise-job") > 0  # step 1 (requestor)
+        assert trace.count("match") == 1  # step 2
+        assert trace.count("match-notified-customer") == 1  # step 3
+        assert trace.count("match-notified-provider") == 1  # step 3
+        assert trace.count("claim-request") == 1  # step 4
+        assert trace.count("claim-accepted") == 1
+        assert trace.count("job-completed") == 1
+
+    def test_steps_causally_ordered(self, pool):
+        trace = pool.trace
+        t_ad = min(
+            trace.first("advertise-machine").time, trace.first("advertise-job").time
+        )
+        t_match = trace.first("match").time
+        t_notify = min(
+            trace.first("match-notified-customer").time,
+            trace.first("match-notified-provider").time,
+        )
+        t_claim = trace.first("claim-request").time
+        t_accept = trace.first("claim-accepted").time
+        t_done = trace.first("job-completed").time
+        assert t_ad <= t_match <= t_notify <= t_claim <= t_accept <= t_done
+
+    def test_claiming_bypasses_matchmaker(self, pool):
+        # Step 4 messages flow CA↔RA directly; the matchmaker addresses
+        # never appear as claim participants.
+        claim = pool.trace.first("claim-request")
+        assert claim.fields["machine"] == "leonardo"
+
+    def test_both_parties_got_each_others_ads(self, pool):
+        note = pool.trace.first("match-notified-customer")
+        assert note.fields["machine"] == "leonardo"
+        assert note.fields["owner"] == "raman"
+
+    def test_job_completed_with_full_goodput(self, pool):
+        assert pool.metrics.jobs_completed == 1
+        assert pool.metrics.goodput == pytest.approx(300.0, abs=1.0)
+        assert pool.metrics.badput == 0.0
+
+
+class TestMatchmakerStatelessness:
+    def test_no_match_state_survives_in_matchmaker(self):
+        """After notification the matchmaker's responsibility ceases: the
+        negotiator object holds no per-match state at all."""
+        pool = CondorPool(
+            [MachineSpec(name="m0")],
+            PoolConfig(seed=1, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        pool.submit(Job(owner="raman", total_work=100.0))
+        pool.run_until_quiescent(check_interval=60.0, max_time=50_000.0)
+        negotiator = pool.negotiator
+        # Everything the negotiator retains is counters + the accountant.
+        state_attrs = {
+            k: v
+            for k, v in vars(negotiator).items()
+            if "match" in k.lower() and k != "total_matches"
+        }
+        assert state_attrs == {}
+
+    def test_match_is_only_a_hint(self):
+        """A match against a machine that turned Owner before the claim is
+        simply rejected at claim time; nothing breaks and the job is
+        rematched later."""
+        from repro.condor.machine import OwnerModel
+
+        class ArrivesDuringClaim(OwnerModel):
+            # Owner shows up just after the negotiation at t=60 fired but
+            # before the claim handshake lands, then leaves again.
+            def first_event(self, rng):
+                return False, 60.02
+
+            def active_duration(self, rng):
+                return 120.0
+
+            def idle_duration(self, rng):
+                return 1e9
+
+        pool = CondorPool(
+            [MachineSpec(name="m0")],
+            PoolConfig(seed=3, advertise_interval=600.0, negotiation_interval=60.0),
+            owner_models={"m0": ArrivesDuringClaim()},
+        )
+        pool.submit(Job(owner="raman", total_work=60.0))
+        pool.run_until_quiescent(check_interval=60.0, max_time=50_000.0)
+        assert pool.metrics.jobs_completed == 1
+        assert pool.metrics.claims_rejected >= 1
+        reasons = pool.metrics.claim_rejections_by_reason
+        assert "bad-ticket" in reasons or "constraint-violated" in reasons
+
+
+class TestSessionKeys:
+    def test_session_key_handoff(self):
+        pool = CondorPool(
+            [MachineSpec(name="m0")],
+            PoolConfig(
+                seed=1,
+                advertise_interval=60.0,
+                negotiation_interval=60.0,
+                with_session_key=True,
+            ),
+        )
+        pool.submit(Job(owner="raman", total_work=50.0))
+        pool.run_until_quiescent(check_interval=60.0, max_time=50_000.0)
+        assert pool.metrics.jobs_completed == 1

@@ -1,0 +1,102 @@
+"""Integration: flocking — load sharing across autonomous pools.
+
+The framework scales past one pool with no new mechanism: a starving
+job's ad is simply sent to a remote collector too; matching, tickets,
+claiming, and the remote owners' policies all work unchanged.
+"""
+
+import pytest
+
+from repro.classads import is_true
+from repro.condor import Job, MachineSpec, PoolConfig
+from repro.condor.flocking import Flock
+
+
+def two_pools(n_home=1, n_remote=3, seed=55, flock_threshold=300.0, **remote_spec):
+    pools = {
+        "home": [MachineSpec(name=f"h{i}") for i in range(n_home)],
+        "remote": [
+            MachineSpec(name=f"r{i}", **remote_spec) for i in range(n_remote)
+        ],
+    }
+    return Flock(
+        pools,
+        PoolConfig(seed=seed, advertise_interval=120.0, negotiation_interval=120.0),
+        flock_threshold=flock_threshold,
+    )
+
+
+class TestFlockingBasics:
+    def test_local_jobs_stay_local_when_capacity_suffices(self):
+        flock = two_pools(n_home=2)
+        jobs = [Job(owner="alice", total_work=600.0) for _ in range(2)]
+        for job in jobs:
+            flock.submit("home", job)
+        flock.run_until_quiescent(check_interval=120.0, max_time=50_000.0)
+        assert all(j.done for j in jobs)
+        assert all(j.running_on is None for j in jobs)
+        assert flock.trace.count("advertise-job-flock") == 0
+        # Everything executed on home machines.
+        accepted = flock.trace.of_kind("claim-accepted")
+        assert all(e.fields["machine"].startswith("h") for e in accepted)
+
+    def test_starving_jobs_overflow_to_remote_pool(self):
+        flock = two_pools(n_home=1, n_remote=3)
+        jobs = [Job(owner="alice", total_work=3_000.0) for _ in range(4)]
+        for job in jobs:
+            flock.submit("home", job)
+        flock.run_until_quiescent(check_interval=120.0, max_time=100_000.0)
+        assert all(j.done for j in jobs)
+        assert flock.trace.count("advertise-job-flock") > 0
+        accepted = flock.trace.of_kind("claim-accepted")
+        machines_used = {e.fields["machine"] for e in accepted}
+        assert any(m.startswith("r") for m in machines_used)
+        assert any(m.startswith("h") for m in machines_used)
+
+    def test_flocking_faster_than_single_pool(self):
+        # The same backlog drains sooner with a remote pool to flock to.
+        def makespan(n_remote):
+            flock = two_pools(n_home=1, n_remote=n_remote)
+            for _ in range(6):
+                flock.submit("home", Job(owner="alice", total_work=1_800.0))
+            return flock.run_until_quiescent(check_interval=120.0, max_time=200_000.0)
+
+        assert makespan(n_remote=3) < makespan(n_remote=0)
+
+
+class TestRemoteAutonomy:
+    def test_remote_policies_still_apply(self):
+        """A remote pool that only serves its own group rejects flocked
+        strangers — autonomy survives flocking."""
+        flock = two_pools(
+            n_home=1,
+            n_remote=2,
+            constraint='member(other.Owner, { "remoteuser" })',
+        )
+        stranger_jobs = [Job(owner="alice", total_work=2_000.0) for _ in range(3)]
+        for job in stranger_jobs:
+            flock.submit("home", job)
+        flock.run_until(20_000.0)
+        accepted = flock.trace.of_kind("claim-accepted")
+        assert all(not e.fields["machine"].startswith("r") for e in accepted)
+
+    def test_remote_accountant_charges_the_flocked_user(self):
+        flock = two_pools(n_home=1, n_remote=2)
+        for _ in range(4):
+            flock.submit("home", Job(owner="alice", total_work=2_000.0))
+        flock.run_until_quiescent(check_interval=120.0, max_time=100_000.0)
+        remote = flock.pools["remote"]
+        assert remote.accountant.record("alice").accumulated_usage > 0
+
+    def test_double_match_across_pools_is_safe(self):
+        """Both negotiators may match the same flocked job in overlapping
+        cycles; the CA claims once and ignores the second introduction —
+        matches are hints, even across pools."""
+        flock = two_pools(n_home=1, n_remote=1, flock_threshold=0.0)
+        job = Job(owner="alice", total_work=1_000.0)
+        flock.submit("home", job)
+        flock.run_until_quiescent(check_interval=120.0, max_time=50_000.0)
+        assert job.done
+        # It ran exactly once: goodput equals total work.
+        total_goodput = sum(p.metrics.goodput for p in flock.pools.values())
+        assert total_goodput == pytest.approx(1_000.0, abs=2.0)

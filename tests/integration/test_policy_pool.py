@@ -1,0 +1,113 @@
+"""Integration: a pool of Figure-1-policy workstations, end to end.
+
+This is the situation Section 1 motivates: every machine has its own
+sophisticated owner policy (group / friends-when-idle / strangers-at-
+night / untrusted-never), and the *same* pool serves all of them
+simultaneously — "several dissimilar allocation models coexist[ing] in
+the same resource management environment" (bilateral specialization,
+Section 3.2).
+"""
+
+import pytest
+
+from repro.condor import (
+    CondorPool,
+    Job,
+    MachineSpec,
+    PoolConfig,
+    generate_policy_pool,
+)
+from repro.sim import RngStream
+
+GROUP_A = ["raman", "miron"]
+GROUP_B = ["solomon", "jbasney"]
+
+
+def policy_pool(n=6, seed=77, **config):
+    specs = generate_policy_pool(
+        RngStream(seed),
+        n,
+        groups=[GROUP_A, GROUP_B],
+        friends=["tannenba"],
+        untrusted=["riffraff"],
+    )
+    # Uniform platform so only the *policies* differentiate machines.
+    for spec in specs:
+        spec.arch, spec.opsys, spec.memory = "INTEL", "SOLARIS251", 128
+        spec.mips = 100.0
+    defaults = dict(seed=seed, advertise_interval=120.0, negotiation_interval=120.0)
+    defaults.update(config)
+    return CondorPool(specs, PoolConfig(**defaults))
+
+
+def at_daytime(hours):
+    """Simulated-clock offset landing at the given hour of day 1."""
+    return hours * 3600.0
+
+
+
+class TestGroupPolicies:
+    def test_group_member_runs_during_the_day(self):
+        pool = policy_pool()
+        job = Job(owner="raman", total_work=600.0)
+        pool.submit(job, at=at_daytime(11))  # 11:00, machines idle
+        pool.run_until(at_daytime(13))
+        assert job.done
+        # And it ran on a GROUP_A machine (even indices).
+        assert job.job_id is not None
+
+    def test_stranger_waits_for_night(self):
+        pool = policy_pool()
+        job = Job(owner="outsider", total_work=600.0)
+        pool.submit(job, at=at_daytime(11))
+        pool.run_until(at_daytime(17))
+        assert not job.done  # daytime: every policy rejects a stranger
+        pool.run_until(at_daytime(20))
+        assert job.done  # after 18:00 the night branch opens
+
+    def test_untrusted_never_runs(self):
+        pool = policy_pool()
+        job = Job(owner="riffraff", total_work=600.0)
+        pool.submit(job, at=at_daytime(11))
+        pool.run_until(at_daytime(30))  # through a full night
+        assert not job.done
+        assert job.first_start_time is None
+
+    def test_group_jobs_land_on_their_groups_machines(self):
+        pool = policy_pool(n=6)
+        jobs_a = [Job(owner="raman", total_work=900.0) for _ in range(3)]
+        jobs_b = [Job(owner="solomon", total_work=900.0) for _ in range(3)]
+        for job in jobs_a + jobs_b:
+            pool.submit(job, at=at_daytime(10))
+        pool.run_until(at_daytime(14))
+        group_a_machines = {f"ws{i:04d}" for i in (0, 2, 4)}
+        group_b_machines = {f"ws{i:04d}" for i in (1, 3, 5)}
+        for job in jobs_a:
+            assert job.done
+            ran_on = {e.fields["machine"] for e in pool.trace.of_kind("claim-accepted")
+                      if e.fields["job"] == job.job_id}
+            assert ran_on <= group_a_machines
+        for job in jobs_b:
+            assert job.done
+
+    def test_friend_runs_only_on_idle_machines(self):
+        # All machines idle (no owner models): friends pass the
+        # keyboard/load test everywhere.
+        pool = policy_pool()
+        job = Job(owner="tannenba", total_work=600.0)
+        pool.submit(job, at=at_daytime(11))
+        pool.run_until(at_daytime(13))
+        assert job.done
+
+    def test_machine_rank_prefers_group_over_friend(self):
+        # One machine, one friend job running, a group job arrives and
+        # preempts (machine Rank 10 beats friend's 1).
+        pool = policy_pool(n=1)
+        friend = Job(owner="tannenba", total_work=20_000.0, want_checkpoint=True)
+        member = Job(owner="raman", total_work=600.0)
+        pool.submit(friend, at=at_daytime(10))
+        pool.submit(member, at=at_daytime(11))
+        pool.run_until(at_daytime(14))
+        assert member.done
+        assert friend.evictions == 1
+        assert pool.preemption_count() == 1

@@ -1,0 +1,119 @@
+"""Integration: job priorities, pool snapshots, and run determinism."""
+
+import pytest
+
+from repro.cli import load_pool
+from repro.condor import CondorPool, Job, MachineSpec, PoissonOwner, PoolConfig
+
+
+class TestJobPriorities:
+    def test_high_priority_job_jumps_its_own_queue(self):
+        pool = CondorPool(
+            [MachineSpec(name="m0")],
+            PoolConfig(seed=4, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        background = [Job(owner="alice", total_work=600.0) for _ in range(3)]
+        urgent = Job(owner="alice", total_work=600.0, priority=10)
+        for job in background:
+            pool.submit(job)
+        pool.submit(urgent)  # submitted last, but highest priority
+        pool.run_until_quiescent(check_interval=60.0, max_time=50_000.0)
+        assert urgent.completion_time < min(j.completion_time for j in background)
+
+    def test_priority_does_not_trump_other_submitters_share(self):
+        # bob's priority-100 job must not starve alice on a fair pool.
+        pool = CondorPool(
+            [MachineSpec(name="m0"), MachineSpec(name="m1")],
+            PoolConfig(seed=4, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        alice = Job(owner="alice", total_work=600.0)
+        bob_urgent = [Job(owner="bob", total_work=600.0, priority=100) for _ in range(2)]
+        pool.submit(alice)
+        for job in bob_urgent:
+            pool.submit(job)
+        pool.run_until(120.0)
+        # First cycle: both submitters got one machine each (pie slices).
+        running = [j for j in pool.jobs() if j.first_start_time is not None]
+        owners = {j.owner for j in running}
+        assert owners == {"alice", "bob"}
+
+    def test_fcfs_among_equal_priorities(self):
+        pool = CondorPool(
+            [MachineSpec(name="m0")],
+            PoolConfig(seed=4, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        first = Job(owner="alice", total_work=600.0)
+        second = Job(owner="alice", total_work=600.0)
+        pool.submit(first)
+        pool.submit(second)
+        pool.run_until_quiescent(check_interval=60.0, max_time=50_000.0)
+        assert first.completion_time < second.completion_time
+
+
+class TestSnapshot:
+    def test_snapshot_round_trips_through_cli_loader(self, tmp_path):
+        pool = CondorPool(
+            [MachineSpec(name=f"m{i}") for i in range(3)],
+            PoolConfig(seed=2, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        pool.submit(Job(owner="alice", total_work=50_000.0))
+        pool.run_until(65.0)
+        text = pool.collector.snapshot()
+        path = tmp_path / "pool.jsonl"
+        path.write_text(text)
+        ads = load_pool(str(path))
+        machines = [ad for ad in ads if ad.evaluate("Type") == "Machine"]
+        assert len(machines) == 3
+
+    def test_snapshot_feeds_status_tool(self):
+        from repro.condor.status import machine_status
+
+        pool = CondorPool(
+            [MachineSpec(name=f"m{i}") for i in range(2)],
+            PoolConfig(seed=2, advertise_interval=60.0, negotiation_interval=60.0),
+        )
+        pool.run_until(65.0)
+        import json
+
+        from repro.classads.serialize import from_json_obj
+
+        ads = [from_json_obj(json.loads(line)) for line in pool.collector.snapshot().splitlines()]
+        assert "Total 2 machines" in machine_status(ads)
+
+
+class TestDeterminism:
+    def run_once(self, seed=99):
+        specs = [MachineSpec(name=f"m{i}") for i in range(5)]
+        owner_models = {
+            spec.name: PoissonOwner(mean_active=600.0, mean_idle=900.0)
+            for spec in specs
+        }
+        pool = CondorPool(
+            specs,
+            PoolConfig(
+                seed=seed,
+                advertise_interval=120.0,
+                negotiation_interval=120.0,
+                network_loss=0.05,
+                network_jitter=0.5,
+            ),
+            owner_models=owner_models,
+        )
+        for i in range(15):
+            pool.submit(Job(owner="alice" if i % 2 else "bob", total_work=700.0))
+        pool.run_until(20_000.0)
+        m = pool.metrics
+        return (
+            m.jobs_completed,
+            m.claims_attempted,
+            m.claims_rejected,
+            round(m.goodput, 6),
+            round(m.badput, 6),
+            pool.sim.events_processed,
+        )
+
+    def test_same_seed_same_history(self):
+        assert self.run_once(seed=99) == self.run_once(seed=99)
+
+    def test_different_seed_different_history(self):
+        assert self.run_once(seed=99) != self.run_once(seed=100)

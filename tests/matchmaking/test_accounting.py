@@ -1,0 +1,149 @@
+"""Unit tests for fair-share accounting (S8)."""
+
+import math
+
+import pytest
+
+from repro.matchmaking import MINIMUM_PRIORITY, Accountant
+
+
+class TestBasics:
+    def test_new_submitter_starts_at_floor(self):
+        acc = Accountant(half_life=100)
+        assert acc.effective_priority("alice") == MINIMUM_PRIORITY
+
+    def test_priority_factor_multiplies(self):
+        acc = Accountant(half_life=100)
+        acc.set_priority_factor("alice", 10.0)
+        assert acc.effective_priority("alice") == MINIMUM_PRIORITY * 10.0
+
+    def test_invalid_factor_rejected(self):
+        acc = Accountant(half_life=100)
+        with pytest.raises(ValueError):
+            acc.set_priority_factor("alice", 0)
+
+    def test_invalid_half_life_rejected(self):
+        with pytest.raises(ValueError):
+            Accountant(half_life=0)
+
+    def test_time_cannot_go_backwards(self):
+        acc = Accountant(half_life=100, now=50)
+        with pytest.raises(ValueError):
+            acc.advance_to(10)
+
+    def test_release_without_claim_rejected(self):
+        acc = Accountant(half_life=100)
+        with pytest.raises(ValueError):
+            acc.resource_released("alice")
+
+
+class TestUpDownDynamics:
+    def test_priority_rises_while_resources_held(self):
+        acc = Accountant(half_life=100)
+        for _ in range(4):
+            acc.resource_claimed("alice")
+        before = acc.effective_priority("alice")
+        acc.advance_to(200)
+        assert acc.effective_priority("alice") > before
+
+    def test_priority_converges_to_resources_in_use(self):
+        acc = Accountant(half_life=10)
+        for _ in range(4):
+            acc.resource_claimed("alice")
+        acc.advance_to(1000)  # 100 half-lives
+        assert acc.effective_priority("alice") == pytest.approx(4.0, rel=1e-3)
+
+    def test_priority_decays_after_release(self):
+        acc = Accountant(half_life=100)
+        for _ in range(4):
+            acc.resource_claimed("alice")
+        acc.advance_to(500)
+        peak = acc.effective_priority("alice")
+        for _ in range(4):
+            acc.resource_released("alice")
+        acc.advance_to(600)
+        assert acc.effective_priority("alice") < peak
+
+    def test_decay_half_life_is_honoured(self):
+        acc = Accountant(half_life=100)
+        acc.resource_claimed("alice")
+        acc.advance_to(1000)  # converge near 1.0
+        acc.resource_released("alice")
+        at_release = acc.record("alice").real_priority
+        acc.advance_to(1100)  # exactly one half-life later
+        expected = max(MINIMUM_PRIORITY, at_release / 2)
+        assert acc.record("alice").real_priority == pytest.approx(expected, rel=1e-6)
+
+    def test_priority_never_below_floor(self):
+        acc = Accountant(half_life=10)
+        acc.resource_claimed("alice")
+        acc.resource_released("alice")
+        acc.advance_to(10_000)
+        assert acc.record("alice").real_priority >= MINIMUM_PRIORITY
+
+    def test_accumulated_usage_counts_resource_seconds(self):
+        acc = Accountant(half_life=100)
+        acc.resource_claimed("alice")
+        acc.resource_claimed("alice")
+        acc.advance_to(50)
+        assert acc.record("alice").accumulated_usage == pytest.approx(100.0)
+
+    def test_monotone_decay(self):
+        acc = Accountant(half_life=100)
+        acc.resource_claimed("alice")
+        acc.advance_to(300)
+        acc.resource_released("alice")
+        last = acc.effective_priority("alice")
+        for t in range(400, 1000, 100):
+            acc.advance_to(t)
+            current = acc.effective_priority("alice")
+            assert current <= last
+            last = current
+
+
+class TestNegotiationOrder:
+    def test_light_user_served_before_heavy_user(self):
+        acc = Accountant(half_life=100)
+        acc.resource_claimed("heavy")
+        acc.resource_claimed("heavy")
+        acc.record("light")
+        acc.advance_to(300)
+        assert acc.negotiation_order(["heavy", "light"]) == ["light", "heavy"]
+
+    def test_priority_factor_overrides_usage(self):
+        acc = Accountant(half_life=100)
+        acc.set_priority_factor("vip", 0.01)
+        acc.resource_claimed("vip")
+        acc.resource_claimed("vip")
+        acc.record("pleb")
+        acc.advance_to(300)
+        assert acc.negotiation_order(["pleb", "vip"]) == ["vip", "pleb"]
+
+    def test_ties_broken_by_name(self):
+        acc = Accountant(half_life=100)
+        assert acc.negotiation_order(["zeta", "alpha"]) == ["alpha", "zeta"]
+
+
+class TestFairShares:
+    def test_equal_priorities_split_evenly(self):
+        acc = Accountant(half_life=100)
+        shares = acc.fair_shares(["a", "b"])
+        assert shares["a"] == pytest.approx(0.5)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_shares_inverse_to_priority(self):
+        acc = Accountant(half_life=100)
+        acc.set_priority_factor("a", 1.0)
+        acc.set_priority_factor("b", 3.0)
+        shares = acc.fair_shares(["a", "b"])
+        assert shares["a"] == pytest.approx(0.75)
+        assert shares["b"] == pytest.approx(0.25)
+
+    def test_usage_report_sorted_best_first(self):
+        acc = Accountant(half_life=100)
+        acc.resource_claimed("greedy")
+        acc.record("idle")
+        acc.advance_to(500)
+        report = acc.usage_report()
+        assert report[0][0] == "idle"
+        assert report[1][0] == "greedy"

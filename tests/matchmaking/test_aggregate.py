@@ -1,0 +1,155 @@
+"""Unit + property tests for ad aggregation / group matching (S21)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classads import ClassAd
+from repro.matchmaking import (
+    AdAggregation,
+    GroupMatchStats,
+    constraints_satisfied,
+    group_best_match,
+    group_match,
+    group_signature,
+)
+
+
+def machine(name, arch="INTEL", memory=64, constraint='other.Type == "Job"'):
+    ad = ClassAd(
+        {
+            "Type": "Machine",
+            "Name": name,
+            "ContactAddress": f"startd@{name}",
+            "Arch": arch,
+            "Memory": memory,
+        }
+    )
+    ad.set_expr("Constraint", constraint)
+    return ad
+
+
+def job(constraint='other.Type == "Machine"', **attrs):
+    ad = ClassAd({"Type": "Job", "Owner": "raman", **attrs})
+    ad.set_expr("Constraint", constraint)
+    return ad
+
+
+class TestSignatures:
+    def test_identity_attrs_ignored(self):
+        a, b = machine("m0"), machine("m1")
+        assert group_signature(a) == group_signature(b)
+
+    def test_matching_relevant_attrs_distinguish(self):
+        assert group_signature(machine("m0", memory=64)) != group_signature(
+            machine("m1", memory=128)
+        )
+
+    def test_policy_expressions_distinguish(self):
+        a = machine("m0", constraint="true")
+        b = machine("m1", constraint='other.Owner == "raman"')
+        assert group_signature(a) != group_signature(b)
+
+    def test_attribute_order_irrelevant(self):
+        a = ClassAd({"x": 1, "y": 2})
+        b = ClassAd({"y": 2, "x": 1})
+        assert group_signature(a) == group_signature(b)
+
+
+class TestAggregation:
+    def test_grouping_by_class(self):
+        ads = (
+            [machine(f"i{k}", arch="INTEL") for k in range(5)]
+            + [machine(f"s{k}", arch="SPARC") for k in range(3)]
+        )
+        agg = AdAggregation(ads)
+        assert len(agg.groups) == 2
+        assert agg.total_ads == 8
+        assert agg.compression == 4.0
+
+    def test_singleton_groups(self):
+        ads = [machine(f"m{k}", memory=2 ** (5 + k)) for k in range(4)]
+        agg = AdAggregation(ads)
+        assert len(agg.groups) == 4
+        assert agg.compression == 1.0
+
+    def test_safe_for_rejects_identity_references(self):
+        agg = AdAggregation([machine("m0")])
+        assert agg.safe_for(job('other.Arch == "INTEL"'))
+        assert not agg.safe_for(job('other.Name == "m0"'))
+
+    def test_safe_for_checks_rank_too(self):
+        agg = AdAggregation([machine("m0")])
+        picky = job()
+        picky.set_expr("Rank", 'other.Name == "m0" ? 10 : 0')
+        assert not agg.safe_for(picky)
+
+
+class TestGroupMatching:
+    def test_matches_fan_out_to_members(self):
+        ads = [machine(f"i{k}") for k in range(5)] + [
+            machine(f"s{k}", arch="SPARC") for k in range(3)
+        ]
+        agg = AdAggregation(ads)
+        stats = GroupMatchStats()
+        found = group_match(job('other.Arch == "INTEL"'), agg, stats=stats)
+        assert len(found) == 5
+        assert stats.constraint_evaluations == 2  # one per group, not per ad
+
+    def test_unsafe_customer_falls_back_to_exact(self):
+        ads = [machine(f"m{k}") for k in range(4)]
+        agg = AdAggregation(ads)
+        stats = GroupMatchStats()
+        found = group_match(job('other.Name == "m2"'), agg, stats=stats)
+        assert [ad.evaluate("Name") for ad in found] == ["m2"]
+        assert stats.fallbacks == 1
+
+    def test_group_best_match(self):
+        ads = [machine(f"i{k}", memory=64) for k in range(3)] + [
+            machine(f"b{k}", memory=256) for k in range(2)
+        ]
+        agg = AdAggregation(ads)
+        customer = job("other.Memory >= 32")
+        customer.set_expr("Rank", "other.Memory")
+        best = group_best_match(customer, agg)
+        assert best is not None
+        assert best.provider.evaluate("Memory") == 256
+
+    def test_group_best_match_none(self):
+        agg = AdAggregation([machine("m0", memory=16)])
+        assert group_best_match(job("other.Memory >= 64"), agg) is None
+
+
+# -- the equivalence property -------------------------------------------------
+
+archs = st.sampled_from(["INTEL", "SPARC"])
+memories = st.sampled_from([32, 64, 128])
+constraint_texts = st.sampled_from(
+    [
+        'other.Type == "Machine"',
+        'other.Arch == "INTEL"',
+        "other.Memory >= 64",
+        'other.Arch == "SPARC" && other.Memory >= 64',
+        'other.Name == "m1"',  # identity reference → fallback path
+        "true",
+    ]
+)
+
+
+class TestEquivalenceProperty:
+    @given(
+        st.lists(st.tuples(archs, memories), max_size=15),
+        constraint_texts,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_group_match_equals_naive_filter(self, machine_params, text):
+        ads = [
+            machine(f"m{i}", arch=a, memory=m)
+            for i, (a, m) in enumerate(machine_params)
+        ]
+        agg = AdAggregation(ads)
+        customer = job(text)
+        grouped = group_match(customer, agg)
+        naive = [ad for ad in ads if constraints_satisfied(customer, ad)]
+        assert sorted(ad.evaluate("Name") for ad in grouped) == sorted(
+            ad.evaluate("Name") for ad in naive
+        )

@@ -1,0 +1,151 @@
+"""Unit tests for gangmatching / co-allocation (S20)."""
+
+import pytest
+
+from repro.classads import ClassAd
+from repro.matchmaking import GangRequest, GangStats, Port, gang_match, gang_match_all
+
+
+def machine(name, arch="INTEL", memory=64):
+    ad = ClassAd(
+        {"Type": "Machine", "Name": name, "Arch": arch, "Memory": memory}
+    )
+    ad.set_expr("Constraint", 'other.Type == "Job"')
+    return ad
+
+
+def license_ad(app, host, seats=1):
+    ad = ClassAd(
+        {"Type": "License", "App": app, "Host": host, "Seats": seats}
+    )
+    ad.set_expr("Constraint", 'other.Type == "Job"')
+    return ad
+
+
+def request(owner="raman", memory=32, ports=None):
+    base = ClassAd({"Type": "Job", "Owner": owner, "Memory": memory})
+    return GangRequest(base=base, ports=ports or [])
+
+
+class TestSinglePort:
+    def test_degenerate_gang_is_bilateral_match(self):
+        gang = request(
+            ports=[Port("cpu", 'other.Type == "Machine" && other.Memory >= self.Memory')]
+        )
+        match = gang_match(gang, [machine("m0")])
+        assert match is not None
+        assert match.provider("cpu").evaluate("Name") == "m0"
+
+    def test_no_candidate(self):
+        gang = request(
+            memory=128,
+            ports=[Port("cpu", 'other.Type == "Machine" && other.Memory >= self.Memory')],
+        )
+        assert gang_match(gang, [machine("m0", memory=64)]) is None
+
+    def test_rank_orders_candidates(self):
+        gang = request(
+            ports=[Port("cpu", 'other.Type == "Machine"', rank="other.Memory")]
+        )
+        small, big = machine("small", memory=32), machine("big", memory=256)
+        match = gang_match(gang, [small, big])
+        assert match.provider("cpu") is big
+
+    def test_provider_side_constraint_respected(self):
+        fussy = machine("fussy")
+        fussy.set_expr("Constraint", 'other.Owner == "miron"')
+        gang = request(owner="raman", ports=[Port("cpu", 'other.Type == "Machine"')])
+        assert gang_match(gang, [fussy]) is None
+        miron = request(owner="miron", ports=[Port("cpu", 'other.Type == "Machine"')])
+        assert gang_match(miron, [fussy]) is not None
+
+
+class TestCrossPortConstraints:
+    def co_allocation_request(self):
+        """Job needing a machine AND a license valid on that machine."""
+        return request(
+            ports=[
+                Port("cpu", 'other.Type == "Machine" && other.Memory >= self.Memory'),
+                Port(
+                    "license",
+                    'other.Type == "License" && other.App == "run_sim" '
+                    "&& other.Host == cpu.Name",
+                ),
+            ]
+        )
+
+    def test_license_bound_to_matched_machine(self):
+        providers = [
+            machine("m0"),
+            machine("m1"),
+            license_ad("run_sim", host="m1"),
+        ]
+        match = gang_match(self.co_allocation_request(), providers)
+        assert match is not None
+        assert match.provider("cpu").evaluate("Name") == "m1"
+        assert match.provider("license").evaluate("Host") == "m1"
+
+    def test_backtracking_revisits_first_port(self):
+        # m0 is tried first for the cpu port (input order), but only m1
+        # has a license — the search must backtrack.
+        stats = GangStats()
+        providers = [machine("m0"), machine("m1"), license_ad("run_sim", "m1")]
+        match = gang_match(self.co_allocation_request(), providers, stats=stats)
+        assert match is not None
+        assert stats.backtracks >= 1
+
+    def test_unsatisfiable_co_allocation(self):
+        providers = [machine("m0"), license_ad("run_sim", host="elsewhere")]
+        assert gang_match(self.co_allocation_request(), providers) is None
+
+    def test_provider_serves_at_most_one_port(self):
+        # A single ad cannot fill both ports even if it satisfies both
+        # constraints.
+        both = ClassAd(
+            {"Type": "Machine", "Name": "hybrid", "Memory": 64, "App": "x"}
+        )
+        gang = request(
+            ports=[
+                Port("a", 'other.Type == "Machine"'),
+                Port("b", 'other.Type == "Machine"'),
+            ]
+        )
+        assert gang_match(gang, [both]) is None
+        assert gang_match(gang, [both, machine("m2")]) is not None
+
+
+class TestRequestValidation:
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            request(ports=[Port("x", "true"), Port("x", "true")])
+
+    def test_label_colliding_with_base_attr_rejected(self):
+        base = ClassAd({"Type": "Job", "cpu": 1})
+        with pytest.raises(ValueError):
+            GangRequest(base=base, ports=[Port("cpu", "true")])
+
+
+class TestGangMatchAll:
+    def test_earlier_requests_consume_providers(self):
+        providers = [machine("m0"), license_ad("run_sim", "m0")]
+        first = request(
+            ports=[
+                Port("cpu", 'other.Type == "Machine"'),
+                Port("lic", 'other.Type == "License" && other.Host == cpu.Name'),
+            ]
+        )
+        second = request(ports=[Port("cpu", 'other.Type == "Machine"')])
+        results = gang_match_all([first, second], providers)
+        assert results[0] is not None
+        assert results[1] is None  # m0 already taken
+
+    def test_independent_requests_both_served(self):
+        providers = [machine("m0"), machine("m1")]
+        requests = [
+            request(ports=[Port("cpu", 'other.Type == "Machine"')])
+            for _ in range(2)
+        ]
+        results = gang_match_all(requests, providers)
+        assert all(r is not None for r in results)
+        names = {r.provider("cpu").evaluate("Name") for r in results}
+        assert names == {"m0", "m1"}

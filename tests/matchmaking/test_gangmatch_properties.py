@@ -1,0 +1,111 @@
+"""Property-based tests for gangmatching invariants (S20)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classads import ClassAd, is_true
+from repro.matchmaking import GangRequest, Port, gang_match, gang_match_all
+
+
+def machine(name, arch, memory):
+    ad = ClassAd({"Type": "Machine", "Name": name, "Arch": arch, "Memory": memory})
+    ad.set_expr("Constraint", 'other.Type == "Job"')
+    return ad
+
+
+def license_ad(host, app="fluent"):
+    ad = ClassAd({"Type": "License", "App": app, "Host": host})
+    ad.set_expr("Constraint", 'other.Type == "Job"')
+    return ad
+
+
+archs = st.sampled_from(["INTEL", "SPARC"])
+memories = st.sampled_from([32, 64, 128])
+
+machine_params = st.lists(st.tuples(archs, memories), max_size=8)
+license_hosts = st.lists(st.integers(min_value=0, max_value=7), max_size=4)
+
+
+def build_providers(machines, hosts):
+    providers = [machine(f"m{i}", a, mem) for i, (a, mem) in enumerate(machines)]
+    for host_index in hosts:
+        if host_index < len(machines):
+            providers.append(license_ad(f"m{host_index}"))
+    return providers
+
+
+def co_allocation_gang(memory):
+    return GangRequest(
+        base=ClassAd({"Type": "Job", "Owner": "alice", "Memory": memory}),
+        ports=[
+            Port("cpu", 'other.Type == "Machine" && other.Memory >= self.Memory',
+                 rank="other.Memory"),
+            Port("license",
+                 'other.Type == "License" && other.Host == cpu.Name'),
+        ],
+    )
+
+
+class TestGangInvariants:
+    @given(machine_params, license_hosts, memories)
+    @settings(max_examples=150, deadline=None)
+    def test_solution_satisfies_every_port(self, machines, hosts, memory):
+        providers = build_providers(machines, hosts)
+        gang = co_allocation_gang(memory)
+        match = gang_match(gang, providers)
+        if match is None:
+            return
+        working = gang.base.copy()
+        for label, provider in match.bindings.items():
+            working[label] = provider
+        for port in gang.ports:
+            assert is_true(
+                working.eval_expr(port._constraint_expr, other=match.bindings[port.label])
+            )
+
+    @given(machine_params, license_hosts, memories)
+    @settings(max_examples=150, deadline=None)
+    def test_bindings_are_distinct_providers(self, machines, hosts, memory):
+        providers = build_providers(machines, hosts)
+        match = gang_match(co_allocation_gang(memory), providers)
+        if match is None:
+            return
+        bound = [id(ad) for ad in match.bindings.values()]
+        assert len(bound) == len(set(bound))
+
+    @given(machine_params, license_hosts, memories)
+    @settings(max_examples=150, deadline=None)
+    def test_completeness_no_missed_solution_for_two_ports(self, machines, hosts, memory):
+        """Backtracking search finds a solution whenever a brute-force
+        enumeration over provider pairs finds one."""
+        providers = build_providers(machines, hosts)
+        gang = co_allocation_gang(memory)
+        found = gang_match(gang, providers)
+
+        def brute_force():
+            for cpu in providers:
+                if cpu.evaluate("Type") != "Machine":
+                    continue
+                mem = cpu.evaluate("Memory")
+                if not isinstance(mem, int) or mem < memory:
+                    continue
+                for lic in providers:
+                    if lic is cpu or lic.evaluate("Type") != "License":
+                        continue
+                    if lic.evaluate("Host") == cpu.evaluate("Name"):
+                        return True
+            return False
+
+        assert (found is not None) == brute_force()
+
+    @given(machine_params, license_hosts, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_gang_match_all_never_shares_providers(self, machines, hosts, n_requests):
+        providers = build_providers(machines, hosts)
+        requests = [co_allocation_gang(32) for _ in range(n_requests)]
+        results = gang_match_all(requests, providers)
+        bound = []
+        for result in results:
+            if result is not None:
+                bound.extend(id(ad) for ad in result.bindings.values())
+        assert len(bound) == len(set(bound))

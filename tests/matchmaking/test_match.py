@@ -1,0 +1,180 @@
+"""Unit tests for the bilateral match algorithm (S5)."""
+
+import pytest
+
+from repro.classads import ClassAd
+from repro.matchmaking import (
+    MatchPolicy,
+    best_match,
+    constraint_holds,
+    constraints_satisfied,
+    evaluate_rank,
+    rank_candidates,
+    symmetric_match,
+)
+from repro.paper import figure1_machine, figure2_job
+
+
+def machine(**overrides):
+    ad = ClassAd(
+        {
+            "Type": "Machine",
+            "Arch": "INTEL",
+            "OpSys": "SOLARIS251",
+            "Memory": 64,
+            "Disk": 100_000,
+            "KFlops": 20_000,
+        }
+    )
+    ad.set_expr("Constraint", "other.Type == \"Job\"")
+    for key, value in overrides.items():
+        ad[key] = value
+    return ad
+
+
+def job(**overrides):
+    ad = ClassAd({"Type": "Job", "Owner": "raman", "Memory": 31})
+    ad.set_expr("Constraint", 'other.Type == "Machine" && other.Memory >= self.Memory')
+    for key, value in overrides.items():
+        ad[key] = value
+    return ad
+
+
+class TestConstraintHolds:
+    def test_basic_acceptance(self):
+        assert constraint_holds(job(), machine())
+
+    def test_rejection(self):
+        assert not constraint_holds(job(Memory=128), machine())
+
+    def test_undefined_constraint_fails_match(self):
+        needy = job()
+        needy.set_expr("Constraint", "other.NoSuchAttr > 5")
+        assert not constraint_holds(needy, machine())
+
+    def test_error_constraint_fails_match(self):
+        broken = job()
+        broken.set_expr("Constraint", '1 / 0 == 1')
+        assert not constraint_holds(broken, machine())
+
+    def test_nonboolean_constraint_fails_match(self):
+        weird = job()
+        weird["Constraint"] = 42
+        assert not constraint_holds(weird, machine())
+
+    def test_missing_constraint_accepts_everything(self):
+        unconstrained = ClassAd({"Type": "Job"})
+        assert constraint_holds(unconstrained, machine())
+
+    def test_requirements_alias(self):
+        ad = ClassAd({"Type": "Job"})
+        ad.set_expr("Requirements", "other.Memory >= 32")
+        assert constraint_holds(ad, machine())
+        assert not constraint_holds(ad, machine(Memory=16))
+
+    def test_constraint_preferred_over_requirements(self):
+        ad = ClassAd({"Type": "Job"})
+        ad.set_expr("Constraint", "false")
+        ad.set_expr("Requirements", "true")
+        assert not constraint_holds(ad, machine())
+
+    def test_custom_policy_names(self):
+        policy = MatchPolicy(constraint_attrs=("Wants",), rank_attr="Prefers")
+        ad = ClassAd({})
+        ad.set_expr("Wants", "other.Memory >= 32")
+        assert constraint_holds(ad, machine(), policy)
+
+
+class TestSymmetry:
+    def test_both_sides_must_accept(self):
+        picky_machine = machine()
+        picky_machine.set_expr("Constraint", 'other.Owner == "miron"')
+        assert not constraints_satisfied(job(Owner="raman"), picky_machine)
+        assert constraints_satisfied(job(Owner="miron"), picky_machine)
+
+    def test_symmetric_in_argument_order(self):
+        m, j = machine(), job()
+        assert constraints_satisfied(m, j) == constraints_satisfied(j, m)
+
+    def test_alias(self):
+        assert symmetric_match(job(), machine())
+
+    def test_paper_figures_match(self):
+        assert constraints_satisfied(figure2_job(), figure1_machine())
+
+
+class TestRank:
+    def test_numeric_rank(self):
+        j = job()
+        j.set_expr("Rank", "other.KFlops / 1000.0")
+        assert evaluate_rank(j, machine(KFlops=5000)) == 5.0
+
+    def test_missing_rank_is_zero(self):
+        assert evaluate_rank(job(), machine()) == 0.0
+
+    def test_non_numeric_rank_is_zero(self):
+        j = job()
+        j["Rank"] = "very good"
+        assert evaluate_rank(j, machine()) == 0.0
+
+    def test_undefined_rank_is_zero(self):
+        j = job()
+        j.set_expr("Rank", "other.NoSuch * 2")
+        assert evaluate_rank(j, machine()) == 0.0
+
+    def test_boolean_rank_promotes(self):
+        j = job()
+        j.set_expr("Rank", "other.Memory >= 32")
+        assert evaluate_rank(j, machine()) == 1.0
+
+
+class TestRankCandidates:
+    def test_orders_by_customer_rank(self):
+        j = job()
+        j.set_expr("Rank", "other.KFlops")
+        slow, fast = machine(KFlops=1000), machine(KFlops=9000)
+        matches = rank_candidates(j, [slow, fast])
+        assert [m.provider for m in matches] == [fast, slow]
+
+    def test_incompatible_excluded(self):
+        j = job()
+        machines = [machine(), machine(Memory=8)]
+        matches = rank_candidates(j, machines)
+        assert len(matches) == 1
+        assert matches[0].provider is machines[0]
+
+    def test_provider_rank_breaks_ties(self):
+        j = job()  # no Rank: all customer ranks are 0
+        indifferent = machine()
+        eager = machine()
+        eager.set_expr("Rank", "10")
+        matches = rank_candidates(j, [indifferent, eager])
+        assert matches[0].provider is eager
+
+    def test_input_order_breaks_full_ties(self):
+        j = job()
+        first, second = machine(), machine()
+        matches = rank_candidates(j, [first, second])
+        assert matches[0].provider is first
+
+    def test_empty_provider_list(self):
+        assert rank_candidates(job(), []) == []
+
+
+class TestBestMatch:
+    def test_agrees_with_rank_candidates(self):
+        j = job()
+        j.set_expr("Rank", "other.KFlops")
+        machines = [machine(KFlops=k) for k in (3000, 9000, 1000, 9000)]
+        assert best_match(j, machines).provider is rank_candidates(j, machines)[0].provider
+
+    def test_none_when_no_compatible_provider(self):
+        assert best_match(job(Memory=10_000), [machine()]) is None
+
+    def test_single_pass_prefers_higher_provider_rank_on_tie(self):
+        j = job()
+        reluctant = machine()
+        reluctant.set_expr("Rank", "-5")
+        keen = machine()
+        keen.set_expr("Rank", "5")
+        assert best_match(j, [reluctant, keen]).provider is keen

@@ -1,0 +1,148 @@
+"""Property-based tests for the negotiation cycle's invariants (S6)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classads import ClassAd, rank_value
+from repro.matchmaking import Accountant, constraints_satisfied, negotiation_cycle
+
+
+def machine(name, arch, memory, state="Unclaimed", current_rank=0.0, remote_owner=None):
+    ad = ClassAd(
+        {
+            "Type": "Machine",
+            "Name": name,
+            "Arch": arch,
+            "Memory": memory,
+            "State": state,
+        }
+    )
+    ad.set_expr("Constraint", 'other.Type == "Job"')
+    ad.set_expr("Rank", 'other.Owner == "vip" ? 5 : 0')
+    if state == "Claimed":
+        ad["CurrentRank"] = current_rank
+        ad["RemoteOwner"] = remote_owner or "someone"
+    return ad
+
+
+def request(owner, job_id, arch, memory):
+    ad = ClassAd(
+        {"Type": "Job", "JobId": job_id, "Owner": owner, "Memory": memory, "ReqArch": arch}
+    )
+    ad.set_expr(
+        "Constraint",
+        'other.Type == "Machine" && other.Arch == self.ReqArch '
+        "&& other.Memory >= self.Memory",
+    )
+    ad.set_expr("Rank", "other.Memory")
+    return ad
+
+
+archs = st.sampled_from(["INTEL", "SPARC"])
+memories = st.sampled_from([32, 64, 128])
+states = st.sampled_from(["Unclaimed", "Claimed", "Owner"])
+owners = st.sampled_from(["alice", "bob", "vip"])
+
+machines_strategy = st.lists(
+    st.tuples(archs, memories, states, st.floats(min_value=0, max_value=10)),
+    max_size=10,
+)
+requests_strategy = st.lists(st.tuples(owners, archs, memories), max_size=12)
+
+
+def build(machine_params, request_params):
+    providers = [
+        machine(f"m{i}", a, m, state=s, current_rank=r)
+        for i, (a, m, s, r) in enumerate(machine_params)
+    ]
+    grouped = {}
+    for i, (owner, arch, memory) in enumerate(request_params):
+        grouped.setdefault(owner, []).append(request(owner, i, arch, memory))
+    return providers, grouped
+
+
+class TestNegotiationInvariants:
+    @given(machines_strategy, requests_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_no_provider_double_booked(self, machine_params, request_params):
+        providers, grouped = build(machine_params, request_params)
+        assignments = negotiation_cycle(grouped, providers)
+        booked = [id(a.provider) for a in assignments]
+        assert len(booked) == len(set(booked))
+
+    @given(machines_strategy, requests_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_no_request_served_twice(self, machine_params, request_params):
+        providers, grouped = build(machine_params, request_params)
+        assignments = negotiation_cycle(grouped, providers)
+        served = [id(a.request) for a in assignments]
+        assert len(served) == len(set(served))
+
+    @given(machines_strategy, requests_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_every_assignment_is_a_real_bilateral_match(self, machine_params, request_params):
+        providers, grouped = build(machine_params, request_params)
+        for a in negotiation_cycle(grouped, providers):
+            assert constraints_satisfied(a.request, a.provider)
+
+    @given(machines_strategy, requests_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_owner_state_machines_never_assigned(self, machine_params, request_params):
+        providers, grouped = build(machine_params, request_params)
+        for a in negotiation_cycle(grouped, providers):
+            assert a.provider.evaluate("State") != "Owner"
+
+    @given(machines_strategy, requests_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_preemption_only_for_strictly_higher_rank(self, machine_params, request_params):
+        providers, grouped = build(machine_params, request_params)
+        for a in negotiation_cycle(grouped, providers):
+            if a.preempts is not None:
+                current = rank_value(a.provider.evaluate("CurrentRank"))
+                assert a.provider_rank > current
+
+    @given(machines_strategy, requests_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_preemption_flag_matches_provider_state(self, machine_params, request_params):
+        providers, grouped = build(machine_params, request_params)
+        for a in negotiation_cycle(grouped, providers):
+            state = a.provider.evaluate("State")
+            if state == "Claimed":
+                assert a.preempts is not None
+            else:
+                assert a.preempts is None
+
+    @given(machines_strategy, requests_strategy, st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_no_wasted_capacity(self, machine_params, request_params, use_accountant):
+        """After a cycle (with or without fair-share pie slices), no
+        unserved request may have a compatible, available, un-taken
+        provider left — quota cuts are always back-filled by the
+        leftovers pass, so fairness never strands capacity."""
+        providers, grouped = build(machine_params, request_params)
+        acc = Accountant(half_life=100.0) if use_accountant else None
+        assignments = negotiation_cycle(grouped, providers, accountant=acc)
+        taken = {id(a.provider) for a in assignments}
+        served = {id(a.request) for a in assignments}
+        for owner, requests in grouped.items():
+            for req in requests:
+                if id(req) in served:
+                    continue
+                for provider in providers:
+                    if id(provider) in taken:
+                        continue
+                    if provider.evaluate("State") != "Unclaimed":
+                        continue
+                    assert not constraints_satisfied(req, provider), (
+                        "unserved request had an idle compatible provider"
+                    )
+
+    @given(machines_strategy, requests_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, machine_params, request_params):
+        providers, grouped = build(machine_params, request_params)
+        first = negotiation_cycle(grouped, providers)
+        second = negotiation_cycle(grouped, providers)
+        assert [
+            (a.submitter, a.provider.evaluate("Name")) for a in first
+        ] == [(a.submitter, a.provider.evaluate("Name")) for a in second]

@@ -1,0 +1,69 @@
+"""Unit tests for one-way matching (status tools, Section 4)."""
+
+from repro.classads import ClassAd
+from repro.matchmaking import count_matching, one_way_match, select
+
+
+def pool():
+    def m(name, arch, state, memory):
+        return ClassAd(
+            {"Type": "Machine", "Name": name, "Arch": arch, "State": state, "Memory": memory}
+        )
+
+    return [
+        m("a", "INTEL", "Unclaimed", 64),
+        m("b", "INTEL", "Claimed", 128),
+        m("c", "SPARC", "Unclaimed", 32),
+        m("d", "SPARC", "Owner", 64),
+    ]
+
+
+class TestSelect:
+    def test_filters_by_expression(self):
+        found = select(pool(), 'Arch == "INTEL"')
+        assert [ad.evaluate("Name") for ad in found] == ["a", "b"]
+
+    def test_compound_expression(self):
+        found = select(pool(), 'State == "Unclaimed" && Memory >= 64')
+        assert [ad.evaluate("Name") for ad in found] == ["a"]
+
+    def test_undefined_excluded(self):
+        ads = pool()
+        del ads[0]["State"]
+        found = select(ads, 'State == "Unclaimed"')
+        assert [ad.evaluate("Name") for ad in found] == ["c"]
+
+    def test_limit(self):
+        assert len(select(pool(), "true", limit=2)) == 2
+
+    def test_accepts_parsed_expression(self):
+        from repro.classads import parse
+
+        assert len(select(pool(), parse("Memory > 32"))) == 3
+
+    def test_count_matching(self):
+        assert count_matching(pool(), 'Arch == "SPARC"') == 2
+
+
+class TestOneWayMatch:
+    def test_query_ad_with_self_attributes(self):
+        query = ClassAd({"MinMemory": 64})
+        query.set_expr("Constraint", "other.Memory >= self.MinMemory")
+        found = one_way_match(query, pool())
+        assert [ad.evaluate("Name") for ad in found] == ["a", "b", "d"]
+
+    def test_target_constraint_not_consulted(self):
+        # One-way: even a target that would reject the query is returned.
+        target = ClassAd({"Type": "Machine", "Memory": 64})
+        target.set_expr("Constraint", "false")
+        query = ClassAd({})
+        query.set_expr("Constraint", "other.Memory == 64")
+        assert one_way_match(query, [target]) == [target]
+
+    def test_unconstrained_query_returns_all(self):
+        assert len(one_way_match(ClassAd({}), pool())) == 4
+
+    def test_limit(self):
+        query = ClassAd({})
+        query.set_expr("Constraint", "true")
+        assert len(one_way_match(query, pool(), limit=3)) == 3

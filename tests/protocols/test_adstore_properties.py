@@ -1,0 +1,74 @@
+"""Property-based tests for the soft-state ad store (S9)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classads import ClassAd
+from repro.protocols import AdStore
+
+names = st.sampled_from([f"m{i}" for i in range(5)])
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), names, st.floats(min_value=0, max_value=100),
+                  st.floats(min_value=1, max_value=50), st.integers(min_value=0, max_value=20)),
+        st.tuples(st.just("remove"), names),
+        st.tuples(st.just("expire"), st.floats(min_value=0, max_value=200)),
+    ),
+    max_size=40,
+)
+
+
+def replay(operations):
+    """Apply operations with a monotone clock; mirror into a dict model."""
+    store = AdStore()
+    model = {}  # name -> (expires_at, sequence)
+    now = 0.0
+    for op in operations:
+        if op[0] == "insert":
+            _, name, dt, lifetime, seq = op
+            now += dt
+            accepted = store.insert(name, ClassAd({"Name": name}), now=now,
+                                    lifetime=lifetime, sequence=seq)
+            old = model.get(name)
+            should_accept = old is None or seq >= old[1]
+            assert accepted == should_accept
+            if should_accept:
+                model[name] = (now + lifetime, seq)
+        elif op[0] == "remove":
+            _, name = op
+            assert store.remove(name) == (name in model)
+            model.pop(name, None)
+        else:
+            _, dt = op
+            now += dt
+            reaped = set(store.expire(now))
+            should_reap = {n for n, (exp, _) in model.items() if exp <= now}
+            assert reaped == should_reap
+            for name in should_reap:
+                del model[name]
+    return store, model, now
+
+
+class TestAdStoreModel:
+    @given(ops)
+    @settings(max_examples=200, deadline=None)
+    def test_store_matches_reference_model(self, operations):
+        store, model, now = replay(operations)
+        assert set(store) == set(model)
+        assert len(store) == len(model)
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_expire_is_idempotent(self, operations):
+        store, model, now = replay(operations)
+        store.expire(now)  # flush anything due exactly now
+        assert store.expire(now) == []
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_stored_ads_are_retrievable(self, operations):
+        store, model, now = replay(operations)
+        for name in model:
+            ad = store.get(name)
+            assert ad is not None
+            assert ad.evaluate("Name") == name

@@ -1,0 +1,114 @@
+"""Unit tests for the advertising protocol (S9)."""
+
+from repro.classads import ClassAd
+from repro.protocols import AdStore, validate_ad
+
+
+def valid_ad(**extra):
+    ad = ClassAd(
+        {
+            "Type": "Machine",
+            "ContactAddress": "startd@leonardo",
+        }
+    )
+    ad.set_expr("Constraint", "true")
+    for key, value in extra.items():
+        ad[key] = value
+    return ad
+
+
+class TestValidation:
+    def test_conforming_ad_passes(self):
+        assert validate_ad(valid_ad()).ok
+
+    def test_requirements_alias_accepted(self):
+        ad = valid_ad()
+        del ad["Constraint"]
+        ad.set_expr("Requirements", "true")
+        assert validate_ad(ad).ok
+
+    def test_missing_constraint_flagged(self):
+        ad = valid_ad()
+        del ad["Constraint"]
+        result = validate_ad(ad)
+        assert not result.ok
+        assert any("Constraint" in p for p in result.problems)
+
+    def test_missing_contact_flagged(self):
+        ad = valid_ad()
+        del ad["ContactAddress"]
+        assert not validate_ad(ad).ok
+
+    def test_missing_type_flagged(self):
+        ad = valid_ad()
+        del ad["Type"]
+        assert not validate_ad(ad).ok
+
+    def test_requirements_may_be_relaxed(self):
+        bare = ClassAd({"Type": "Query"})
+        assert validate_ad(bare, require_constraint=False, require_contact=False).ok
+
+    def test_multiple_problems_reported(self):
+        result = validate_ad(ClassAd({}))
+        assert len(result.problems) == 3
+
+
+class TestAdStore:
+    def test_insert_and_get(self):
+        store = AdStore()
+        ad = valid_ad()
+        store.insert("leonardo", ad, now=0.0)
+        assert store.get("leonardo") is ad
+        assert "leonardo" in store
+        assert len(store) == 1
+
+    def test_refresh_replaces_and_renews(self):
+        store = AdStore()
+        store.insert("m", valid_ad(Memory=16), now=0.0, lifetime=100, sequence=1)
+        store.insert("m", valid_ad(Memory=64), now=50.0, lifetime=100, sequence=2)
+        assert store.get("m").evaluate("Memory") == 64
+        assert store.expire(now=120.0) == []  # renewed at t=50, lives to 150
+        assert store.expire(now=151.0) == ["m"]
+
+    def test_out_of_order_advertisement_dropped(self):
+        store = AdStore()
+        assert store.insert("m", valid_ad(Memory=64), now=10.0, sequence=5)
+        assert not store.insert("m", valid_ad(Memory=16), now=11.0, sequence=3)
+        assert store.get("m").evaluate("Memory") == 64
+
+    def test_expiry_reaps_only_stale(self):
+        store = AdStore()
+        store.insert("old", valid_ad(), now=0.0, lifetime=10)
+        store.insert("fresh", valid_ad(), now=0.0, lifetime=1000)
+        assert store.expire(now=20.0) == ["old"]
+        assert len(store) == 1
+
+    def test_age_of(self):
+        store = AdStore()
+        store.insert("m", valid_ad(), now=100.0)
+        assert store.age_of("m", now=130.0) == 30.0
+        assert store.age_of("missing", now=130.0) is None
+
+    def test_remove(self):
+        store = AdStore()
+        store.insert("m", valid_ad(), now=0.0)
+        assert store.remove("m")
+        assert not store.remove("m")
+
+    def test_clear_models_crash(self):
+        # A matchmaker crash loses all soft state; re-advertisement
+        # rebuilds it (experiment E1 exercises the full loop).
+        store = AdStore()
+        store.insert("m", valid_ad(), now=0.0)
+        store.clear()
+        assert len(store) == 0
+        store.insert("m", valid_ad(), now=300.0)
+        assert len(store) == 1
+
+    def test_ads_and_records(self):
+        store = AdStore()
+        store.insert("a", valid_ad(), now=0.0)
+        store.insert("b", valid_ad(), now=1.0)
+        assert len(store.ads()) == 2
+        assert sorted(r.name for r in store.records()) == ["a", "b"]
+        assert sorted(store) == ["a", "b"]

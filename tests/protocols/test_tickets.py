@@ -1,0 +1,82 @@
+"""Unit tests for authorization tickets and the handshake (S10/S11)."""
+
+from repro.protocols import ChallengeResponse, Ticket, TicketAuthority
+
+
+class TestTicketAuthority:
+    def test_mint_and_validate(self):
+        authority = TicketAuthority("leonardo", b"secret")
+        ticket = authority.mint()
+        assert authority.validate(ticket)
+
+    def test_no_ticket_issued_yet(self):
+        authority = TicketAuthority("leonardo", b"secret")
+        assert authority.current is None
+        assert not authority.validate(None)
+
+    def test_new_ticket_invalidates_old(self):
+        authority = TicketAuthority("leonardo", b"secret")
+        old = authority.mint()
+        new = authority.mint()
+        assert not authority.validate(old)
+        assert authority.validate(new)
+
+    def test_revoke(self):
+        authority = TicketAuthority("leonardo", b"secret")
+        ticket = authority.mint()
+        authority.revoke()
+        assert not authority.validate(ticket)
+
+    def test_forged_token_rejected(self):
+        authority = TicketAuthority("leonardo", b"secret")
+        real = authority.mint()
+        forged = Ticket(real.issuer, real.serial, "0" * 64)
+        assert not authority.validate(forged)
+
+    def test_ticket_from_other_issuer_rejected(self):
+        a = TicketAuthority("leonardo", b"secret")
+        b = TicketAuthority("raphael", b"secret")
+        a.mint()
+        assert not a.validate(b.mint())
+
+    def test_deterministic_given_secret(self):
+        t1 = TicketAuthority("leonardo", b"k").mint()
+        t2 = TicketAuthority("leonardo", b"k").mint()
+        assert t1 == t2
+
+    def test_different_secrets_differ(self):
+        t1 = TicketAuthority("leonardo", b"k1").mint()
+        t2 = TicketAuthority("leonardo", b"k2").mint()
+        assert t1.token != t2.token
+
+
+class TestTicketMatching:
+    def test_matches_none_is_false(self):
+        ticket = Ticket("x", 1, "tok")
+        assert not ticket.matches(None)
+
+    def test_matches_self(self):
+        ticket = Ticket("x", 1, "tok")
+        assert ticket.matches(Ticket("x", 1, "tok"))
+
+    def test_serial_mismatch(self):
+        assert not Ticket("x", 1, "tok").matches(Ticket("x", 2, "tok"))
+
+
+class TestChallengeResponse:
+    def test_round_trip(self):
+        key = b"session-key"
+        prover = ChallengeResponse(key)
+        verifier = ChallengeResponse(key)
+        challenge = b"nonce-123"
+        assert verifier.verify(challenge, prover.respond(challenge))
+
+    def test_wrong_key_fails(self):
+        challenge = b"nonce-123"
+        response = ChallengeResponse(b"key-a").respond(challenge)
+        assert not ChallengeResponse(b"key-b").verify(challenge, response)
+
+    def test_wrong_challenge_fails(self):
+        prover = ChallengeResponse(b"key")
+        response = prover.respond(b"nonce-1")
+        assert not prover.verify(b"nonce-2", response)

@@ -1,0 +1,174 @@
+"""Unit tests for metrics, tracing and RNG streams (S23, S12)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PoolMetrics, RngStream, RunningStats, Trace, UtilizationTracker
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.variance == 0.0
+        assert s.minimum == s.maximum == 5.0
+
+    def test_known_values(self):
+        s = RunningStats()
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            s.add(v)
+        assert s.mean == pytest.approx(5.0)
+        assert s.stdev == pytest.approx(2.138, abs=1e-3)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_batch_computation(self, values):
+        s = RunningStats()
+        for v in values:
+            s.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert s.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+        assert s.minimum == min(values)
+        assert s.maximum == max(values)
+
+
+class TestPoolMetrics:
+    def test_rates(self):
+        m = PoolMetrics()
+        m.jobs_submitted = 10
+        m.jobs_completed = 7
+        m.claims_attempted = 20
+        m.record_claim_rejection("bad-ticket")
+        m.record_claim_rejection("constraint-violated")
+        m.record_claim_rejection("constraint-violated")
+        assert m.completion_rate == pytest.approx(0.7)
+        assert m.claim_rejection_rate == pytest.approx(3 / 20)
+        assert m.claim_rejections_by_reason["constraint-violated"] == 2
+
+    def test_goodput_fraction(self):
+        m = PoolMetrics()
+        m.goodput = 900.0
+        m.badput = 100.0
+        assert m.goodput_fraction == pytest.approx(0.9)
+
+    def test_zero_division_guards(self):
+        m = PoolMetrics()
+        assert m.completion_rate == 0.0
+        assert m.claim_rejection_rate == 0.0
+        assert m.goodput_fraction == 0.0
+
+    def test_summary_renders(self):
+        m = PoolMetrics()
+        m.jobs_submitted = 1
+        m.record_claim_rejection("bad-ticket")
+        text = m.summary()
+        assert "jobs completed" in text
+        assert "bad-ticket=1" in text
+
+
+class TestUtilizationTracker:
+    def test_half_busy_pool(self):
+        u = UtilizationTracker(capacity=2)
+        u.claim(0.0)
+        assert u.utilization(10.0) == pytest.approx(0.5)
+
+    def test_claim_release_cycle(self):
+        u = UtilizationTracker(capacity=1)
+        u.claim(0.0)
+        u.release(5.0)
+        assert u.utilization(10.0) == pytest.approx(0.5)
+
+    def test_over_claim_rejected(self):
+        u = UtilizationTracker(capacity=1)
+        u.claim(0.0)
+        with pytest.raises(ValueError):
+            u.claim(1.0)
+
+    def test_release_without_claim_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationTracker(capacity=1).release(1.0)
+
+
+class TestTrace:
+    def test_emit_and_filter(self):
+        t = Trace()
+        t.emit(1.0, "advertise", name="m1")
+        t.emit(2.0, "match", job="j1")
+        t.emit(3.0, "advertise", name="m2")
+        assert t.count("advertise") == 2
+        assert len(t.of_kind("advertise", "match")) == 3
+        assert t.first("advertise").fields["name"] == "m1"
+        assert t.last("advertise").fields["name"] == "m2"
+
+    def test_disabled_trace_collects_nothing(self):
+        t = Trace(enabled=False)
+        t.emit(1.0, "x")
+        assert len(t) == 0
+
+    def test_kinds_in_first_appearance_order(self):
+        t = Trace()
+        for kind in ["b", "a", "b", "c", "a"]:
+            t.emit(0.0, kind)
+        assert t.kinds() == ["b", "a", "c"]
+
+    def test_between(self):
+        t = Trace()
+        for i in range(5):
+            t.emit(float(i), "tick")
+        assert len(t.between(1.0, 3.0)) == 3
+
+    def test_render(self):
+        t = Trace()
+        t.emit(1.5, "match", job="j1", machine="m1")
+        text = t.render()
+        assert "match" in text and "job=j1" in text
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a = RngStream(1).fork("x")
+        b = RngStream(1).fork("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_forks_are_independent(self):
+        root = RngStream(1)
+        a = root.fork("a")
+        b = root.fork("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_paths_compose(self):
+        assert (
+            RngStream(1).fork("a").fork("b").random()
+            == RngStream(1, "root/a/b").random()
+        )
+
+    def test_adding_consumer_does_not_disturb_existing_stream(self):
+        root1 = RngStream(3)
+        s1 = root1.fork("workload")
+        first = [s1.random() for _ in range(3)]
+
+        root2 = RngStream(3)
+        _extra = root2.fork("new-subsystem")  # new consumer forked first
+        s2 = root2.fork("workload")
+        assert [s2.random() for _ in range(3)] == first
+
+    def test_bernoulli_bounds(self):
+        s = RngStream(5)
+        assert not any(s.bernoulli(0.0) for _ in range(100))
+        assert all(s.bernoulli(1.0) for _ in range(100))
+
+    def test_expovariate_positive(self):
+        s = RngStream(6)
+        assert all(s.expovariate(0.1) > 0 for _ in range(100))

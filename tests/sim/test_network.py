@@ -1,0 +1,142 @@
+"""Unit tests for the simulated network (S13)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim import Network, RngStream, Simulator
+
+
+@dataclass(frozen=True)
+class Ping:
+    sender: str
+    recipient: str
+    payload: int = 0
+
+
+class TestDelivery:
+    def test_basic_delivery_after_latency(self):
+        sim = Simulator()
+        net = Network(sim, latency=0.1)
+        inbox = []
+        net.register("b", inbox.append)
+        net.send(Ping("a", "b", 1))
+        sim.run()
+        assert [m.payload for m in inbox] == [1]
+        assert sim.now == pytest.approx(0.1)
+
+    def test_delivery_order_without_jitter_is_fifo(self):
+        sim = Simulator()
+        net = Network(sim, latency=0.1)
+        inbox = []
+        net.register("b", inbox.append)
+        for i in range(5):
+            net.send(Ping("a", "b", i))
+        sim.run()
+        assert [m.payload for m in inbox] == [0, 1, 2, 3, 4]
+
+    def test_jitter_can_reorder(self):
+        # With jitter much larger than spacing, some pair must reorder.
+        sim = Simulator()
+        net = Network(sim, rng=RngStream(7), latency=0.01, jitter=5.0)
+        inbox = []
+        net.register("b", inbox.append)
+        for i in range(20):
+            net.send(Ping("a", "b", i))
+        sim.run()
+        payloads = [m.payload for m in inbox]
+        assert sorted(payloads) == list(range(20))
+        assert payloads != list(range(20))
+
+    def test_unknown_recipient_dropped(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.send(Ping("a", "nowhere"))
+        sim.run()
+        assert net.stats.dropped_no_recipient == 1
+        assert net.stats.delivered == 0
+
+
+class TestLoss:
+    def test_loss_rate_respected_statistically(self):
+        sim = Simulator()
+        net = Network(sim, rng=RngStream(42), loss=0.3)
+        inbox = []
+        net.register("b", inbox.append)
+        for i in range(1000):
+            net.send(Ping("a", "b", i))
+        sim.run()
+        assert net.stats.dropped_loss + net.stats.delivered == 1000
+        assert 0.2 < net.stats.dropped_loss / 1000 < 0.4
+
+    def test_zero_loss_delivers_everything(self):
+        sim = Simulator()
+        net = Network(sim, loss=0.0)
+        inbox = []
+        net.register("b", inbox.append)
+        for i in range(100):
+            net.send(Ping("a", "b", i))
+        sim.run()
+        assert len(inbox) == 100
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            Network(Simulator(), loss=1.0)
+        with pytest.raises(ValueError):
+            Network(Simulator(), loss=-0.1)
+
+    def test_determinism_across_runs(self):
+        def run():
+            sim = Simulator()
+            net = Network(sim, rng=RngStream(9), loss=0.5)
+            inbox = []
+            net.register("b", inbox.append)
+            for i in range(50):
+                net.send(Ping("a", "b", i))
+            sim.run()
+            return [m.payload for m in inbox]
+
+        assert run() == run()
+
+
+class TestCrashes:
+    def test_messages_to_down_node_lost(self):
+        sim = Simulator()
+        net = Network(sim, latency=0.1)
+        inbox = []
+        net.register("b", inbox.append)
+        net.set_down("b")
+        net.send(Ping("a", "b"))
+        sim.run()
+        assert inbox == []
+        assert net.stats.dropped_down == 1
+
+    def test_revived_node_receives_again(self):
+        sim = Simulator()
+        net = Network(sim, latency=0.1)
+        inbox = []
+        net.register("b", inbox.append)
+        net.set_down("b")
+        net.send(Ping("a", "b", 1))
+        sim.run()
+        net.set_down("b", down=False)
+        net.send(Ping("a", "b", 2))
+        sim.run()
+        assert [m.payload for m in inbox] == [2]
+
+    def test_crash_mid_flight_loses_message(self):
+        sim = Simulator()
+        net = Network(sim, latency=1.0)
+        inbox = []
+        net.register("b", inbox.append)
+        net.send(Ping("a", "b", 1))  # in flight until t=1
+        sim.schedule(0.5, lambda: net.set_down("b"))
+        sim.run()
+        assert inbox == []
+
+    def test_register_revives(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.set_down("b")
+        net.register("b", lambda m: None)
+        assert not net.is_down("b")

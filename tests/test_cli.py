@@ -1,0 +1,215 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import CliError, load_ad, load_pool, main
+from repro.classads import ClassAd, dumps
+
+MACHINE_SRC = """[
+  Type = "Machine"; Name = "leonardo"; Arch = "INTEL";
+  OpSys = "SOLARIS251"; Memory = 64; KFlops = 21893;
+  State = "Unclaimed"; Activity = "Idle"; LoadAvg = 0.05; KeyboardIdle = 1432;
+  Constraint = other.Type == "Job"
+]"""
+
+JOB_SRC = """[
+  Type = "Job"; JobId = 7; Owner = "raman"; Cmd = "run_sim"; Memory = 31;
+  ReqArch = "INTEL"; RemainingWork = 600.0;
+  Constraint = other.Type == "Machine" && other.Memory >= self.Memory;
+  Rank = other.KFlops / 1E3
+]"""
+
+
+@pytest.fixture()
+def machine_file(tmp_path):
+    path = tmp_path / "machine.ad"
+    path.write_text(MACHINE_SRC)
+    return str(path)
+
+
+@pytest.fixture()
+def job_file(tmp_path):
+    path = tmp_path / "job.ad"
+    path.write_text(JOB_SRC)
+    return str(path)
+
+
+@pytest.fixture()
+def pool_file(tmp_path):
+    ads = []
+    for i, memory in enumerate([16, 64, 256]):
+        ad = ClassAd.parse(MACHINE_SRC)
+        ad["Name"] = f"m{i}"
+        ad["Memory"] = memory
+        ads.append(ad)
+    path = tmp_path / "pool.jsonl"
+    path.write_text("\n".join(dumps(ad) for ad in ads))
+    return str(path)
+
+
+class TestLoading:
+    def test_load_classad_source(self, machine_file):
+        ad = load_ad(machine_file)
+        assert ad.evaluate("Name") == "leonardo"
+
+    def test_load_json_ad(self, tmp_path):
+        ad = ClassAd.parse(MACHINE_SRC)
+        path = tmp_path / "machine.json"
+        path.write_text(dumps(ad))
+        assert load_ad(str(path)) == ad
+
+    def test_load_jsonl_pool(self, pool_file):
+        pool = load_pool(pool_file)
+        assert len(pool) == 3
+
+    def test_load_json_array_pool(self, tmp_path):
+        ads = [ClassAd({"Type": "Machine", "Name": f"m{i}"}) for i in range(2)]
+        path = tmp_path / "pool.json"
+        path.write_text(json.dumps([{"Type": "Machine", "Name": f"m{i}"} for i in range(2)]))
+        assert len(load_pool(str(path))) == 2
+
+    def test_load_concatenated_classad_blocks(self, tmp_path):
+        path = tmp_path / "pool.ads"
+        path.write_text(MACHINE_SRC + "\n\n" + MACHINE_SRC.replace("leonardo", "raphael"))
+        pool = load_pool(str(path))
+        assert [ad.evaluate("Name") for ad in pool] == ["leonardo", "raphael"]
+
+    def test_brackets_inside_strings_do_not_confuse_splitter(self, tmp_path):
+        path = tmp_path / "pool.ads"
+        path.write_text('[ Type = "Machine"; Note = "odd ] text [" ]')
+        assert len(load_pool(str(path))) == 1
+
+    def test_missing_file(self):
+        with pytest.raises(CliError):
+            load_ad("/nonexistent/file.ad")
+
+    def test_malformed_source(self, tmp_path):
+        path = tmp_path / "bad.ad"
+        path.write_text("[ a = ]")
+        with pytest.raises(CliError):
+            load_ad(str(path))
+
+
+class TestCommands:
+    def test_eval_simple(self, capsys):
+        assert main(["eval", "2 + 3 * 4"]) == 0
+        assert capsys.readouterr().out.strip() == "14"
+
+    def test_eval_with_ads(self, capsys, machine_file, job_file):
+        code = main(["eval", "other.Memory >= self.Memory", "--ad", job_file, "--other", machine_file])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "true"
+
+    def test_eval_undefined(self, capsys):
+        main(["eval", "NoSuchThing"])
+        assert capsys.readouterr().out.strip() == "undefined"
+
+    def test_eval_bad_expression(self, capsys):
+        assert main(["eval", "a +"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_match_yes(self, capsys, machine_file, job_file):
+        assert main(["match", job_file, machine_file]) == 0
+        out = capsys.readouterr().out
+        assert "match: yes" in out
+        assert "customer Rank of provider: 21.893" in out
+
+    def test_match_no(self, capsys, tmp_path, machine_file):
+        small = tmp_path / "big_job.ad"
+        small.write_text(JOB_SRC.replace("Memory = 31", "Memory = 4096"))
+        assert main(["match", str(small), machine_file]) == 1
+        assert "match: no" in capsys.readouterr().out
+
+    def test_best(self, capsys, job_file, pool_file):
+        assert main(["best", job_file, pool_file]) == 0
+        out = capsys.readouterr().out
+        assert "best provider:" in out
+
+    def test_best_none(self, capsys, tmp_path, pool_file):
+        impossible = tmp_path / "impossible.ad"
+        impossible.write_text(JOB_SRC.replace("Memory = 31", "Memory = 99999"))
+        assert main(["best", str(impossible), pool_file]) == 1
+
+    def test_status(self, capsys, pool_file):
+        assert main(["status", pool_file]) == 0
+        out = capsys.readouterr().out
+        assert "Total 3 machines" in out
+
+    def test_status_with_constraint(self, capsys, pool_file):
+        main(["status", pool_file, "--constraint", "Memory >= 64"])
+        out = capsys.readouterr().out
+        assert "Total 2 machines" in out
+
+    def test_q(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.ads"
+        jobs.write_text(JOB_SRC)
+        main(["q", str(jobs)])
+        assert "raman" in capsys.readouterr().out
+
+    def test_q_owner_filter(self, capsys, tmp_path):
+        jobs = tmp_path / "jobs.ads"
+        jobs.write_text(JOB_SRC)
+        main(["q", str(jobs), "--owner", "nobody"])
+        assert "no idle jobs" in capsys.readouterr().out
+
+    def test_diagnose_satisfiable(self, capsys, job_file, pool_file):
+        assert main(["diagnose", job_file, pool_file]) == 0
+        assert "bilateral matches" in capsys.readouterr().out
+
+    def test_diagnose_unsatisfiable(self, capsys, tmp_path, pool_file):
+        bad = tmp_path / "bad_job.ad"
+        bad.write_text(JOB_SRC.replace('"INTEL"', '"VAX"').replace(
+            'other.Memory >= self.Memory',
+            'other.Arch == "VAX"',
+        ))
+        assert main(["diagnose", str(bad), pool_file]) == 1
+        assert "UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_convert_to_json_and_back(self, capsys, machine_file, tmp_path):
+        main(["convert", machine_file, "--to", "json"])
+        as_json = capsys.readouterr().out
+        json_path = tmp_path / "machine.json"
+        json_path.write_text(as_json)
+        main(["convert", str(json_path), "--to", "classad"])
+        as_classad = capsys.readouterr().out
+        assert ClassAd.parse(as_classad) == load_ad(machine_file)
+
+
+class TestValueFormatting:
+    def test_eval_list_result(self, capsys):
+        main(["eval", 'split("a b c")'])
+        assert capsys.readouterr().out.strip() == '{ "a", "b", "c" }'
+
+    def test_eval_record_result(self, capsys):
+        main(["eval", "[x = 1 + 1]"])
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("[") and "x" in out
+
+    def test_eval_error_result(self, capsys):
+        main(["eval", "1/0"])
+        assert capsys.readouterr().out.strip() == "error"
+
+    def test_eval_real_result(self, capsys):
+        main(["eval", "7 / 2.0"])
+        assert capsys.readouterr().out.strip() == "3.5"
+
+
+class TestPoolFormats:
+    def test_empty_pool_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_pool(str(path)) == []
+
+    def test_unbalanced_brackets_rejected(self, tmp_path):
+        path = tmp_path / "broken.ads"
+        path.write_text("[ a = 1 ")
+        with pytest.raises(CliError):
+            load_pool(str(path))
+
+    def test_json_pool_must_be_array(self, tmp_path):
+        path = tmp_path / "scalar.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(Exception):
+            load_pool(str(path))

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are part of the public surface (README links them); these tests
+keep them from rotting as the library evolves.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    ("quickstart.py", ["quickstart OK"]),
+    ("figure_ads.py", ["Figure 1", "rival", "no"]),
+    ("condor_day.py", ["pool metrics", "fair-share ledger", "protocol trace"]),
+    ("diagnostics_tool.py", ["UNSATISFIABLE", "pool census"]),
+    ("gang_allocation.py", ["co-allocated", "NO MATCH"]),
+    ("flock_overflow.py", ["flocking OK", "autonomy preserved"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, f"{script}: missing {needle!r}"
