@@ -1,29 +1,115 @@
 """Shared helpers for the experiment benchmarks.
 
 Every benchmark regenerates its experiment's table/series and persists
-it under ``benchmarks/results/`` (in addition to attaching the rows to
+it under a results directory (in addition to attaching the rows to
 pytest-benchmark's ``extra_info``), so a plain
 ``pytest benchmarks/ --benchmark-only`` leaves the reproduced
 "figures" on disk for EXPERIMENTS.md to cite.
+
+Two artifact formats are written per benchmark:
+
+* ``<name>.txt`` — the human-readable table (:func:`write_report`);
+* ``BENCH_<name>.json`` — the machine-readable ``repro-bench/1``
+  record (:func:`write_bench_json`): wall time, throughput, the rows
+  as structured data, and a snapshot of the observability registry.
+  CI parses and archives these; docs/OBSERVABILITY.md documents the
+  schema.
+
+The output directory is, in precedence order: the ``results_dir``
+argument, the ``REPRO_BENCH_RESULTS_DIR`` environment variable, then
+``benchmarks/results/`` next to this file — so CI can redirect
+artifacts without touching the benchmarks.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+BENCH_SCHEMA = "repro-bench/1"
 
-def write_report(name: str, text: str) -> str:
-    """Persist *text* under benchmarks/results/<name>.txt and echo it."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+
+def results_dir(override: Optional[str] = None) -> str:
+    """Resolve (and create) the artifact directory."""
+    path = override or os.environ.get("REPRO_BENCH_RESULTS_DIR") or RESULTS_DIR
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_report(name: str, text: str, out_dir: Optional[str] = None) -> str:
+    """Persist *text* under <results>/<name>.txt and echo it."""
+    path = os.path.join(results_dir(out_dir), f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text.rstrip() + "\n")
     print(f"\n--- {name} ---")
     print(text)
     return path
+
+
+def bench_record(
+    name: str,
+    *,
+    wall_time_s: Optional[float] = None,
+    throughput: Optional[Dict[str, float]] = None,
+    data: Optional[Sequence[Dict[str, Any]]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one ``repro-bench/1`` record (without writing it).
+
+    The observability registry is always snapshotted; when the run had
+    metrics disabled the snapshot simply carries empty sample lists.
+    """
+    from repro import obs
+
+    record: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "created_unix": time.time(),
+        "wall_time_s": wall_time_s,
+        "throughput": throughput or {},
+        "metrics": obs.export.snapshot()["metrics"],
+        "data": list(data) if data is not None else [],
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+def write_bench_json(
+    name: str,
+    *,
+    wall_time_s: Optional[float] = None,
+    throughput: Optional[Dict[str, float]] = None,
+    data: Optional[Sequence[Dict[str, Any]]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+    out_dir: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<name>.json`` into the results directory."""
+    record = bench_record(
+        name,
+        wall_time_s=wall_time_s,
+        throughput=throughput,
+        data=data,
+        extra=extra,
+    )
+    path = os.path.join(results_dir(out_dir), f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench-json] {path}")
+    return path
+
+
+def rows_to_dicts(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> List[Dict[str, Any]]:
+    """Zip table headers onto rows — the text table's JSON twin."""
+    keys = [str(h).strip().replace(" ", "_") for h in headers]
+    return [dict(zip(keys, row)) for row in rows]
 
 
 def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

@@ -12,9 +12,11 @@ Each ablation disables one mechanism and regenerates the comparison:
   strands machines in Claimed forever.
 """
 
+import time
+
 from repro.condor import CondorPool, Job, MachineSpec, PoissonOwner, PoolConfig
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 
 def staleness_run(state_change_ads):
@@ -43,13 +45,21 @@ def test_ablation_state_change_ads(benchmark):
     def run_both():
         return staleness_run(True), staleness_run(False)
 
+    start = time.perf_counter()
     with_ads, without_ads = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+    headers = ["variant", "claim rejection rate", "jobs done"]
     rows = [
         ("immediate ads on state change", f"{100 * with_ads.claim_rejection_rate:.1f}%", with_ads.jobs_completed),
         ("periodic ads only", f"{100 * without_ads.claim_rejection_rate:.1f}%", without_ads.jobs_completed),
     ]
-    report = table(["variant", "claim rejection rate", "jobs done"], rows)
-    write_report("EA_state_change_ads", report)
+    write_report("EA_state_change_ads", table(headers, rows))
+    write_bench_json(
+        "EA_state_change_ads",
+        wall_time_s=wall,
+        data=rows_to_dicts(headers, rows),
+        extra={"pool_metrics": {"with_ads": with_ads.to_dict(), "without_ads": without_ads.to_dict()}},
+    )
     assert without_ads.claim_rejection_rate > with_ads.claim_rejection_rate
 
 
@@ -105,15 +115,16 @@ def test_ablation_pie_slices(benchmark):
     def run_both():
         return shares_run(True), shares_run(False)
 
+    start = time.perf_counter()
     with_pie, ordering_only = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+    headers = ["variant", "alpha machines (factor 1x)", "beta machines (factor 4x)"]
     rows = [
         ("pie slices (deployed)", with_pie.get("alpha", 0), with_pie.get("beta", 0)),
         ("ordering only (ablated)", ordering_only.get("alpha", 0), ordering_only.get("beta", 0)),
     ]
-    report = table(
-        ["variant", "alpha machines (factor 1x)", "beta machines (factor 4x)"], rows
-    )
-    write_report("EA_pie_slices", report)
+    write_report("EA_pie_slices", table(headers, rows))
+    write_bench_json("EA_pie_slices", wall_time_s=wall, data=rows_to_dicts(headers, rows))
     # Ordering-only gives the whole cycle to the best-priority user;
     # the pie splits one cycle ~4:1.
     assert ordering_only.get("beta", 0) == 0
@@ -139,7 +150,14 @@ def test_ablation_claim_leases(benchmark):
     def run_both():
         return run(True), run(False)
 
+    start = time.perf_counter()
     with_lease, without_lease = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+    write_bench_json(
+        "EA_claim_leases",
+        wall_time_s=wall,
+        data=[{"with_lease": with_lease, "without_lease": without_lease}],
+    )
     write_report(
         "EA_claim_leases",
         "dead customer agent, one machine, bob's job queued behind it:\n"

@@ -6,11 +6,13 @@ with the *correct clause* identified, and every healthy job must pass.
 Also times a full diagnosis (the admin-tool latency).
 """
 
+import time
+
 from repro.classads import ClassAd
 from repro.matchmaking import diagnose, is_unsatisfiable
 from repro.sim import RngStream
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 POOL_SIZE = 1_000
 
@@ -72,9 +74,17 @@ def test_diagnostic_table(benchmark):
             rows.append((label, f"{report.bilateral_matches} matches", "-"))
         return rows
 
+    start = time.perf_counter()
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    report = table(["planted job", "verdict", "failing clause"], rows)
-    write_report("E8_diagnostics", report)
+    wall = time.perf_counter() - start
+    headers = ["planted job", "verdict", "failing clause"]
+    write_report("E8_diagnostics", table(headers, rows))
+    write_bench_json(
+        "E8_diagnostics",
+        wall_time_s=wall,
+        throughput={"diagnoses_per_s": len(rows) / wall},
+        data=rows_to_dicts(headers, rows),
+    )
     assert len(rows) == len(BROKEN) + len(HEALTHY)
 
 

@@ -6,9 +6,11 @@ function of the advertising interval (the only recovery mechanism that
 exists is periodic re-advertisement).
 """
 
+import time
+
 from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
 
-from _report import table, write_report
+from _report import table, write_bench_json, write_report
 
 CRASH_AT = 1_000.0
 OUTAGE = 600.0
@@ -59,7 +61,9 @@ def test_recovery_time_tracks_advertising_interval(benchmark):
     def sweep():
         return [run_crash(interval) for interval in (60.0, 120.0, 300.0)]
 
+    start = time.perf_counter()
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
     rows = [
         (
             f"{r['interval']:.0f}s",
@@ -79,6 +83,7 @@ def test_recovery_time_tracks_advertising_interval(benchmark):
         rows,
     )
     write_report("E1_failure_recovery", report)
+    write_bench_json("E1_failure_recovery", wall_time_s=wall, data=results)
     # Recovery is bounded by roughly one advertising interval + one cycle.
     for r in results:
         assert r["store_full_after"] is not None

@@ -9,9 +9,11 @@ Regenerates two tables:
   job to start on a pool monopolized by a heavy user.
 """
 
+import time
+
 from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 
 def contended_run(factor_ratio, hours=12, n_machines=4, seed=17):
@@ -42,7 +44,9 @@ def test_factor_weighted_shares(benchmark):
     def sweep():
         return [(r, *contended_run(r)) for r in ratios]
 
+    start = time.perf_counter()
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
     rows = [
         (f"{r:.0f}x", f"{a:.2f}", f"{b:.2f}", f"{a / max(b, 1e-9):.2f}")
         for r, a, b in results
@@ -51,6 +55,14 @@ def test_factor_weighted_shares(benchmark):
         ["beta's priority factor", "alpha share", "beta share", "alpha/beta"], rows
     )
     write_report("E4_fair_share", report)
+    write_bench_json(
+        "E4_fair_share",
+        wall_time_s=wall,
+        data=[
+            {"factor_ratio": r, "alpha_share": a, "beta_share": b}
+            for r, a, b in results
+        ],
+    )
 
     equal, doubled, quadrupled = results
     # Equal factors → near-even split.
@@ -82,7 +94,12 @@ def test_newcomer_beats_incumbent(benchmark):
         assert newcomer.first_start_time is not None
         return newcomer.first_start_time - arrival
 
+    start = time.perf_counter()
     delay = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+    write_bench_json(
+        "E4_newcomer", wall_time_s=wall, data=[{"first_start_delay_s": delay}]
+    )
     write_report(
         "E4_newcomer",
         f"newcomer's first job started {delay:.0f}s after arrival on a "

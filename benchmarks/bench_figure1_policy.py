@@ -5,10 +5,12 @@ Figure 1 workstation ad, and measures the cost of evaluating the policy
 (the operation a busy matchmaker performs millions of times a day).
 """
 
+import time
+
 from repro.classads import is_true, rank_value
 from repro.paper import figure1_machine_at, job_from
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 NOON, NIGHT, EARLY = 12 * 3600, 22 * 3600, 7 * 3600
 IDLE, TYPING = 1800, 10
@@ -51,11 +53,17 @@ def policy_matrix():
 
 
 def test_figure1_policy_matrix(benchmark):
+    start = time.perf_counter()
     rows = benchmark(policy_matrix)
-    report = table(
-        ["requester", "time", "kbd idle (s)", "load", "verdict", "rank"], rows
+    wall = time.perf_counter() - start
+    headers = ["requester", "time", "kbd idle (s)", "load", "verdict", "rank"]
+    write_report("F1_figure1_policy", table(headers, rows))
+    write_bench_json(
+        "F1_figure1_policy",
+        wall_time_s=wall,
+        throughput={"policy_evaluations_per_s": len(rows) / wall},
+        data=rows_to_dicts(headers, rows),
     )
-    write_report("F1_figure1_policy", report)
     benchmark.extra_info["rows"] = len(rows)
 
 

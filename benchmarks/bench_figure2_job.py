@@ -6,11 +6,13 @@ population, regenerate the selection/ranking table, and time the
 best-match operation over a realistic candidate set.
 """
 
+import time
+
 from repro.classads import is_true, rank_value
 from repro.matchmaking import best_match, rank_candidates
 from repro.paper import figure1_machine, figure2_job
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 
 def machine_variants():
@@ -46,7 +48,9 @@ def selection_table():
 
 
 def test_figure2_selection_table(benchmark):
+    start = time.perf_counter()
     rows = benchmark(selection_table)
+    wall = time.perf_counter() - start
     verdicts = {label: verdict for label, verdict, _ in rows}
     assert verdicts["leonardo (baseline)"] == "match"
     assert verdicts["sparc-box"] == "no"
@@ -54,8 +58,11 @@ def test_figure2_selection_table(benchmark):
     assert verdicts["small-disk"] == "no"
     assert verdicts["tight-memory"] == "no"
     assert verdicts["exact-memory"] == "match"
-    report = table(["machine variant", "verdict", "job Rank"], rows)
-    write_report("F2_figure2_job", report)
+    headers = ["machine variant", "verdict", "job Rank"]
+    write_report("F2_figure2_job", table(headers, rows))
+    write_bench_json(
+        "F2_figure2_job", wall_time_s=wall, data=rows_to_dicts(headers, rows)
+    )
 
 
 def test_figure2_rank_orders_machines(benchmark):

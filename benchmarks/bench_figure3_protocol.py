@@ -6,9 +6,11 @@ notify → claim) and measures the wall-clock cost of simulating the
 complete interaction.
 """
 
+import time
+
 from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
 
-from _report import write_report
+from _report import write_bench_json, write_report
 
 
 def run_protocol():
@@ -46,15 +48,25 @@ CAUSAL_CHAIN = [
 
 
 def test_figure3_protocol_transcript(benchmark):
+    start = time.perf_counter()
     pool = benchmark.pedantic(run_protocol, rounds=3, iterations=1)
+    wall = time.perf_counter() - start
     lines = ["Figure 3 protocol transcript (first occurrence of each step):"]
+    steps = []
     for kind, label in STEP_KINDS:
         event = pool.trace.first(kind)
         assert event is not None, kind
         lines.append(f"  t={event.time:9.3f}s  {label:<36} {event.fields}")
+        steps.append({"step": label, "kind": kind, "sim_time_s": event.time})
     chain_times = [pool.trace.first(kind).time for kind in CAUSAL_CHAIN]
     assert chain_times == sorted(chain_times)
     write_report("F3_protocol", "\n".join(lines))
+    write_bench_json(
+        "F3_protocol",
+        wall_time_s=wall,
+        data=steps,
+        extra={"pool_metrics": pool.metrics.to_dict()},
+    )
     assert pool.metrics.jobs_completed == 1
 
 

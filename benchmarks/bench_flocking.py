@@ -6,10 +6,12 @@ falls as remote capacity grows; jobs run remotely only after starving
 locally; remote-pool policies keep applying.
 """
 
+import time
+
 from repro.condor import Job, MachineSpec, PoolConfig
 from repro.condor.flocking import Flock
 
-from _report import table, write_report
+from _report import table, write_bench_json, write_report
 
 BACKLOG = 16
 WORK = 2_400.0
@@ -40,13 +42,23 @@ def test_flock_overflow_series(benchmark):
     def sweep():
         return [(n, *run_flock(n)) for n in sizes]
 
+    start = time.perf_counter()
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
     rows = [
         (f"{n} remote machines", f"{makespan:.0f}s", remote_runs)
         for n, makespan, remote_runs in results
     ]
     report = table(["flock size", "backlog makespan", "claims served remotely"], rows)
     write_report("E10_flocking", report)
+    write_bench_json(
+        "E10_flocking",
+        wall_time_s=wall,
+        data=[
+            {"remote_machines": n, "makespan_s": makespan, "remote_runs": remote_runs}
+            for n, makespan, remote_runs in results
+        ],
+    )
 
     makespans = [m for _, m, _ in results]
     assert makespans == sorted(makespans, reverse=True)  # more flock, faster

@@ -7,11 +7,13 @@ the (larger) machine count, and backtracking is what finds the legal
 machine/license pairings.
 """
 
+import time
+
 from repro.classads import ClassAd
 from repro.matchmaking import GangRequest, GangStats, Port, gang_match, gang_match_all
 from repro.sim import RngStream
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 
 def build_providers(n_machines, n_licenses, rng):
@@ -76,9 +78,14 @@ def test_license_limited_coallocation(benchmark):
             rows.append((n_machines, n_licenses, n_requests, served))
         return rows
 
+    start = time.perf_counter()
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    report = table(["machines", "licenses", "gang requests", "served"], rows)
-    write_report("E9_gangmatch", report)
+    wall = time.perf_counter() - start
+    headers = ["machines", "licenses", "gang requests", "served"]
+    write_report("E9_gangmatch", table(headers, rows))
+    write_bench_json(
+        "E9_gangmatch", wall_time_s=wall, data=rows_to_dicts(headers, rows)
+    )
 
 
 def test_single_gang_match_with_backtracking(benchmark):

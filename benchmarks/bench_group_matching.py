@@ -20,7 +20,7 @@ from repro.matchmaking import (
 )
 from repro.sim import RngStream
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 POOL_SIZE = 2_000
 
@@ -104,19 +104,25 @@ def test_regularity_sweep(benchmark):
             )
         return rows
 
+    start = time.perf_counter()
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    report = table(
-        [
-            "machine classes",
-            "ads/group",
-            "per-ad matching",
-            "group matching",
-            "speedup",
-            "constraint evals",
-        ],
-        rows,
+    wall = time.perf_counter() - start
+    headers = [
+        "machine classes",
+        "ads/group",
+        "per-ad matching",
+        "group matching",
+        "speedup",
+        "constraint evals",
+    ]
+    write_report("E7_group_matching", table(headers, rows))
+    write_bench_json(
+        "E7_group_matching",
+        wall_time_s=wall,
+        throughput={"best_speedup": float(rows[0][4].rstrip("x"))},
+        data=rows_to_dicts(headers, rows),
+        extra={"pool_size": POOL_SIZE, "queries": n_queries},
     )
-    write_report("E7_group_matching", report)
 
     # Shape: higher regularity (fewer classes) → bigger speedup; the
     # most regular pool must show a clear win.

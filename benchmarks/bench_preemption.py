@@ -9,6 +9,8 @@ Regenerates:
   upgrades from a stranger's job when a preferred one arrives.
 """
 
+import time
+
 from repro.condor import (
     CondorPool,
     Job,
@@ -17,7 +19,7 @@ from repro.condor import (
     PoolConfig,
 )
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 HORIZON = 60_000.0
 
@@ -48,7 +50,9 @@ def test_checkpointing_ablation(benchmark):
             "no checkpointing": churn_run(False),
         }
 
+    start = time.perf_counter()
     results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
     rows = [
         (
             name,
@@ -60,10 +64,14 @@ def test_checkpointing_ablation(benchmark):
         )
         for name, m in results.items()
     ]
-    report = table(
-        ["variant", "done", "evictions", "goodput", "badput", "good fraction"], rows
+    headers = ["variant", "done", "evictions", "goodput", "badput", "good fraction"]
+    write_report("E5_checkpointing", table(headers, rows))
+    write_bench_json(
+        "E5_checkpointing",
+        wall_time_s=wall,
+        data=rows_to_dicts(headers, rows),
+        extra={"pool_metrics": {n: m.to_dict() for n, m in results.items()}},
     )
-    write_report("E5_checkpointing", report)
 
     with_ckpt = results["checkpointing"]
     without = results["no checkpointing"]
@@ -90,12 +98,25 @@ def test_rank_preemption_upgrades_machine(benchmark):
         raman_done = [j for j in pool.jobs() if j.owner == "raman" and j.done]
         return pool.preemption_count(), len(raman_done), pool.metrics.badput
 
+    start = time.perf_counter()
     preemptions, raman_done, badput = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
     write_report(
         "E5_rank_preemption",
         f"rank preemptions: {preemptions}\n"
         f"preferred user's jobs completed during stranger's run: {raman_done}\n"
         f"badput: {badput:.0f} (stranger checkpointed, so nothing was lost)",
+    )
+    write_bench_json(
+        "E5_rank_preemption",
+        wall_time_s=wall,
+        data=[
+            {
+                "preemptions": preemptions,
+                "preferred_jobs_done": raman_done,
+                "badput": badput,
+            }
+        ],
     )
     assert preemptions == 1
     assert raman_done == 1

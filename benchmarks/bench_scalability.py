@@ -9,15 +9,33 @@ Regenerates the scaling series for one negotiation cycle over pools of
 The shape to reproduce: naive cost grows linearly in pool size, the
 indexed matcher grows far slower (most providers are pruned before any
 full constraint evaluation), and both return identical assignments.
+
+Run as a script for the CI smoke benchmark::
+
+    python benchmarks/bench_scalability.py --smoke [--out DIR]
+
+which executes a reduced sweep without pytest, measures the overhead of
+the observability layer (metrics enabled vs. disabled on the same
+indexed cycle), and writes ``BENCH_E6_scalability.json``.
 """
 
+import argparse
+import os
+import sys
 import time
 
+if __name__ == "__main__":
+    # Allow `python benchmarks/bench_scalability.py` from a bare checkout.
+    _src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    if os.path.isdir(_src) and os.path.abspath(_src) not in map(os.path.abspath, sys.path):
+        sys.path.insert(0, os.path.abspath(_src))
+
+from repro import obs
 from repro.classads import ClassAd
 from repro.matchmaking import CycleStats, ProviderIndex, negotiation_cycle
 from repro.sim import RngStream
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 ARCHS = ["INTEL", "SPARC", "ALPHA"]
 OPSYSES = ["SOLARIS251", "LINUX", "OSF1"]
@@ -82,45 +100,53 @@ def run_cycle(providers, requests, use_index):
     return assignments, elapsed, stats
 
 
+def scaling_sweep(sizes, request_count=100):
+    """The scaling series shared by the pytest benchmark and --smoke."""
+    rows = []
+    for n in sizes:
+        rng = RngStream(n, "pool")
+        providers = build_pool(n, rng.fork("machines"))
+        requests = build_requests(request_count, rng.fork("jobs"))
+        naive_assignments, naive_time, _ = run_cycle(providers, requests, False)
+        indexed_assignments, indexed_time, stats = run_cycle(
+            providers, requests, True
+        )
+        # Same outcome, cheaper search.
+        assert [
+            (a.submitter, a.provider.evaluate("Name"))
+            for a in naive_assignments
+        ] == [
+            (a.submitter, a.provider.evaluate("Name"))
+            for a in indexed_assignments
+        ]
+        rows.append(
+            (
+                n,
+                len(naive_assignments),
+                f"{1000 * naive_time:.0f}ms",
+                f"{1000 * indexed_time:.0f}ms",
+                f"{naive_time / indexed_time:.1f}x",
+                stats.constraint_evaluations_saved,
+            )
+        )
+    return rows
+
+
+HEADERS = ["machines", "matched", "naive cycle", "indexed cycle", "speedup", "evals pruned"]
+
+
 def test_scaling_series(benchmark):
     sizes = [100, 250, 500, 1_000, 2_000]
-
-    def sweep():
-        rows = []
-        for n in sizes:
-            rng = RngStream(n, "pool")
-            providers = build_pool(n, rng.fork("machines"))
-            requests = build_requests(100, rng.fork("jobs"))
-            naive_assignments, naive_time, _ = run_cycle(providers, requests, False)
-            indexed_assignments, indexed_time, stats = run_cycle(
-                providers, requests, True
-            )
-            # Same outcome, cheaper search.
-            assert [
-                (a.submitter, a.provider.evaluate("Name"))
-                for a in naive_assignments
-            ] == [
-                (a.submitter, a.provider.evaluate("Name"))
-                for a in indexed_assignments
-            ]
-            rows.append(
-                (
-                    n,
-                    len(naive_assignments),
-                    f"{1000 * naive_time:.0f}ms",
-                    f"{1000 * indexed_time:.0f}ms",
-                    f"{naive_time / indexed_time:.1f}x",
-                    stats.constraint_evaluations_saved,
-                )
-            )
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    report = table(
-        ["machines", "matched", "naive cycle", "indexed cycle", "speedup", "evals pruned"],
-        rows,
+    start = time.perf_counter()
+    rows = benchmark.pedantic(scaling_sweep, args=(sizes,), rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+    write_report("E6_scalability", table(HEADERS, rows))
+    write_bench_json(
+        "E6_scalability",
+        wall_time_s=wall,
+        throughput={"matched_last_cycle": rows[-1][1]},
+        data=rows_to_dicts(HEADERS, rows),
     )
-    write_report("E6_scalability", report)
 
     # Shape: index never loses, and wins clearly at scale.
     big = rows[-1]
@@ -146,3 +172,96 @@ def test_index_build_cost(benchmark):
     providers = build_pool(1_000, rng.fork("m"))
     index = benchmark.pedantic(ProviderIndex, args=(providers,), rounds=3, iterations=1)
     assert len(index) == 1_000
+
+
+# ---------------------------------------------------------------------------
+# CI smoke mode (no pytest, no pytest-benchmark)
+
+
+def _measure_indexed_cycle(n_machines, n_requests, repeats):
+    """Best-of-*repeats* wall time for one indexed negotiation cycle."""
+    rng = RngStream(n_machines, "pool")
+    providers = build_pool(n_machines, rng.fork("machines"))
+    requests = build_requests(n_requests, rng.fork("jobs"))
+    best = float("inf")
+    matched = 0
+    for _ in range(repeats):
+        _assignments, elapsed, _stats = run_cycle(providers, requests, True)
+        matched = len(_assignments)
+        best = min(best, elapsed)
+    return best, matched
+
+
+def run_smoke(out_dir=None, machines=500, requests=100, repeats=3):
+    """The CI smoke benchmark: a reduced sweep + instrumentation overhead.
+
+    Returns the written BENCH_*.json path.  The overhead figure compares
+    the same indexed negotiation cycle with the observability registry
+    disabled vs. enabled (metrics only — span tracing stays off, as it
+    would in a production pool): the acceptance bar is <= 5%.
+    """
+    sizes = [100, 250, machines]
+    start = time.perf_counter()
+    rows = scaling_sweep(sizes, request_count=requests)
+    sweep_wall = time.perf_counter() - start
+
+    obs.disable()
+    obs.reset()
+    disabled_s, matched = _measure_indexed_cycle(machines, requests, repeats)
+    obs.enable()
+    enabled_s, _ = _measure_indexed_cycle(machines, requests, repeats)
+    snapshot_matched = obs.metrics.get("matchmaker.matched").total
+    obs.disable()
+
+    overhead_pct = 100.0 * (enabled_s - disabled_s) / disabled_s
+    throughput = {
+        "matches_per_s_metrics_off": matched / disabled_s,
+        "matches_per_s_metrics_on": matched / enabled_s,
+        "obs_overhead_pct": overhead_pct,
+    }
+    report = table(HEADERS, rows) + (
+        f"\n\nindexed cycle ({machines} machines, {requests} requests,"
+        f" best of {repeats}):"
+        f"\n  metrics off : {1000 * disabled_s:.1f}ms"
+        f"\n  metrics on  : {1000 * enabled_s:.1f}ms"
+        f" (overhead {overhead_pct:+.1f}%)"
+    )
+    write_report("E6_scalability_smoke", report, out_dir=out_dir)
+    path = write_bench_json(
+        "E6_scalability",
+        wall_time_s=sweep_wall,
+        throughput=throughput,
+        data=rows_to_dicts(HEADERS, rows),
+        extra={"mode": "smoke", "repeats": repeats},
+        out_dir=out_dir,
+    )
+    # The enabled run must actually have measured something.
+    assert snapshot_matched >= matched * repeats, "metrics did not record the run"
+    return path
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the reduced CI smoke sweep"
+    )
+    parser.add_argument(
+        "--out", default=None, help="results directory (default: benchmarks/results)"
+    )
+    parser.add_argument("--machines", type=int, default=500)
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("only --smoke mode is supported as a script; use pytest otherwise")
+    run_smoke(
+        out_dir=args.out,
+        machines=args.machines,
+        requests=args.requests,
+        repeats=args.repeats,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,9 +6,11 @@ staler the matchmaker's view, the more matches are corrected (rejected)
 at claim time — while completed work stays safe and nonzero.
 """
 
+import time
+
 from repro.condor import CondorPool, Job, MachineSpec, PoissonOwner, PoolConfig
 
-from _report import table, write_report
+from _report import table, write_bench_json, write_report
 
 HORIZON = 40_000.0
 
@@ -49,7 +51,9 @@ def test_staleness_sweep(benchmark):
     def sweep():
         return [run_with_interval(interval) for interval in intervals]
 
+    start = time.perf_counter()
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
     rows = [
         (
             f"{r['interval']:.0f}s",
@@ -66,6 +70,12 @@ def test_staleness_sweep(benchmark):
         rows,
     )
     write_report("E2_stale_ads", report)
+    write_bench_json(
+        "E2_stale_ads",
+        wall_time_s=wall,
+        data=results,
+        extra={"horizon_s": HORIZON},
+    )
 
     # Shape: rejections grow with staleness (compare the extremes; the
     # middle may be noisy), and the system keeps completing work at

@@ -12,6 +12,8 @@ Regenerates the comparison table.  Expected shape: matchmaking > queues
 ceiling (it provably harvested owner-idle time).
 """
 
+import time
+
 from repro.baselines import CentralAllocator, QueueBasedScheduler
 from repro.condor import (
     CondorPool,
@@ -21,7 +23,7 @@ from repro.condor import (
     PoolConfig,
 )
 
-from _report import table, write_report
+from _report import rows_to_dicts, table, write_bench_json, write_report
 
 HORIZON = 86_400.0
 
@@ -114,7 +116,9 @@ def test_architecture_comparison(benchmark):
             "central model": run_central(specs, owners, fresh(jobs)),
         }
 
+    start = time.perf_counter()
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
     rows = [
         (
             name,
@@ -125,9 +129,8 @@ def test_architecture_comparison(benchmark):
         )
         for name, m in results.items()
     ]
-    report = table(
-        ["system", "goodput (ref-cpu·s)", "jobs done", "mean wait", "badput"], rows
-    )
+    headers = ["system", "goodput (ref-cpu·s)", "jobs done", "mean wait", "badput"]
+    report = table(headers, rows)
     speedups = (
         f"\nmatchmaking / central  : "
         f"{results['matchmaking'].goodput / results['central model'].goodput:.2f}x\n"
@@ -135,6 +138,18 @@ def test_architecture_comparison(benchmark):
         f"{results['matchmaking'].goodput / results['static queues'].goodput:.2f}x"
     )
     write_report("E3_vs_baselines", report + speedups)
+    write_bench_json(
+        "E3_vs_baselines",
+        wall_time_s=wall,
+        throughput={
+            "speedup_vs_central": results["matchmaking"].goodput
+            / results["central model"].goodput,
+            "speedup_vs_queues": results["matchmaking"].goodput
+            / results["static queues"].goodput,
+        },
+        data=rows_to_dicts(headers, rows),
+        extra={"horizon_s": HORIZON},
+    )
 
     mm, q, c = (
         results["matchmaking"].goodput,

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs import metrics as _metrics
 from .ast import (
     AttributeRef,
     BinaryOp,
@@ -69,6 +70,33 @@ from .values import (
 #: adversarial input.
 DEFAULT_MAX_STEPS = 100_000
 DEFAULT_MAX_DEPTH = 150
+
+# Observability: >95% of a full-pool run is spent in this module, so even
+# one counter-dict update per toplevel call is measurable (~7% on E6's
+# smoke cycle).  Instead the hot path adds to two module ints and a
+# registry collector settles them into the real counters whenever a
+# snapshot is taken.
+_EVALUATIONS = _metrics.counter(
+    "classads.evaluations", "toplevel classad expression evaluations"
+)
+_EVAL_STEPS = _metrics.counter(
+    "classads.eval_steps", "expression nodes visited across all evaluations"
+)
+
+_pending_evaluations = 0
+_pending_steps = 0
+
+
+def _flush_eval_counters() -> None:
+    global _pending_evaluations, _pending_steps
+    if _pending_evaluations:
+        _EVALUATIONS.inc(_pending_evaluations)
+        _EVAL_STEPS.inc(_pending_steps)
+        _pending_evaluations = 0
+        _pending_steps = 0
+
+
+_metrics.register_collector(_flush_eval_counters)
 
 
 class _EvalState:
@@ -124,7 +152,12 @@ def evaluate(
     raises for in-language faults.
     """
     state = _EvalState(self_ad, other, max_steps, max_depth)
-    return _eval(expr, state)
+    result = _eval(expr, state)
+    if _metrics.enabled:
+        global _pending_evaluations, _pending_steps
+        _pending_evaluations += 1
+        _pending_steps += state.steps
+    return result
 
 
 def evaluate_attribute(
@@ -139,7 +172,12 @@ def evaluate_attribute(
     if expr is None:
         return UNDEFINED
     state = _EvalState(ad, other, max_steps, max_depth)
-    return _resolve_found(expr, ad, name, state)
+    result = _resolve_found(expr, ad, name, state)
+    if _metrics.enabled:
+        global _pending_evaluations, _pending_steps
+        _pending_evaluations += 1
+        _pending_steps += state.steps
+    return result
 
 
 # ---------------------------------------------------------------------------

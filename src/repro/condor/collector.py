@@ -17,8 +17,25 @@ from typing import Dict, List, Optional
 
 from ..classads import ClassAd
 from ..matchmaking import select
+from ..obs import metrics as _metrics
 from ..protocols import AdStore, Advertisement, Withdrawal, validate_ad
 from ..sim import Network, Simulator, Trace
+
+_COL_RECEIVED = _metrics.counter(
+    "collector.ads_received", "advertisements arriving at a collector"
+)
+_COL_ADMITTED = _metrics.counter(
+    "collector.ads_admitted", "advertisements admitted to the store"
+)
+_COL_REJECTED = _metrics.counter(
+    "collector.ads_rejected", "advertisements failing protocol validation"
+)
+_COL_EXPIRED = _metrics.counter(
+    "collector.ads_expired", "soft-state ads reaped after their lifetime"
+)
+_COL_STORE_SIZE = _metrics.gauge(
+    "collector.store_size", "ads currently held by the collector"
+)
 
 
 class Collector:
@@ -51,9 +68,11 @@ class Collector:
             self.store.remove(message.name)
 
     def _on_advertisement(self, message: Advertisement) -> None:
+        _COL_RECEIVED.inc()
         result = validate_ad(message.ad)
         if not result.ok:
             self.ads_rejected += 1
+            _COL_REJECTED.inc()
             self.trace.emit(
                 self.sim.now,
                 "ad-rejected",
@@ -69,10 +88,16 @@ class Collector:
             sequence=message.sequence,
         ):
             self.ads_admitted += 1
+            _COL_ADMITTED.inc()
+            _COL_STORE_SIZE.set(len(self.store))
 
     def _expire(self) -> None:
-        for name in self.store.expire(self.sim.now):
+        expired = self.store.expire(self.sim.now)
+        for name in expired:
             self.trace.emit(self.sim.now, "ad-expired", name=name)
+        if expired and _metrics.enabled:
+            _COL_EXPIRED.inc(len(expired))
+            _COL_STORE_SIZE.set(len(self.store))
 
     # -- queries ----------------------------------------------------------
 

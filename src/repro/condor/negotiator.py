@@ -16,14 +16,31 @@ from the collector's current ads.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from ..matchmaking import Accountant, Assignment, CycleStats, negotiation_cycle
 from ..matchmaking.index import ProviderIndex
 from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy
+from ..obs import metrics as _metrics, tracer as _tracer
 from ..protocols import build_notifications
 from ..sim import Network, Simulator, Trace
 from .collector import Collector
+
+_NEG_CYCLES = _metrics.counter("negotiator.cycles", "negotiator cycles fired")
+_NEG_MATCHES = _metrics.counter("negotiator.matches", "assignments notified")
+_NEG_NOTIFY_FAILURES = _metrics.counter(
+    "negotiator.notify_failures", "matches dropped for missing contact addresses"
+)
+_NEG_CYCLE_SECONDS = _metrics.histogram(
+    "negotiator.cycle_seconds", "wall-clock cost of one full negotiator cycle"
+)
+_NEG_PROVIDERS = _metrics.gauge(
+    "negotiator.providers", "machine ads seen at the last cycle"
+)
+_NEG_REQUESTS_PENDING = _metrics.gauge(
+    "negotiator.requests_pending", "job ads queued at the last cycle"
+)
 
 
 class Negotiator:
@@ -66,20 +83,31 @@ class Negotiator:
         """One negotiation cycle: match, then notify (Figure 3, steps 2–3)."""
         if self._down:
             return []
+        start = time.perf_counter()
         self.accountant.advance_to(self.sim.now)
         providers = self.collector.machine_ads()
         requests = self.collector.job_ads_by_owner()
         stats = CycleStats()
-        index = ProviderIndex(providers) if self.use_index else None
-        assignments = negotiation_cycle(
-            requests,
-            providers,
-            accountant=self.accountant,
-            policy=self.policy,
-            allow_preemption=self.allow_preemption,
-            index=index,
-            stats=stats,
-        )
+        with _tracer.span(
+            "negotiator_cycle", now=self.sim.now, providers=len(providers)
+        ) as span:
+            index = ProviderIndex(providers) if self.use_index else None
+            assignments = negotiation_cycle(
+                requests,
+                providers,
+                accountant=self.accountant,
+                policy=self.policy,
+                allow_preemption=self.allow_preemption,
+                index=index,
+                stats=stats,
+            )
+            span.annotate(matched=len(assignments))
+        if _metrics.enabled:
+            _NEG_CYCLES.inc()
+            _NEG_MATCHES.inc(len(assignments))
+            _NEG_PROVIDERS.set(len(providers))
+            _NEG_REQUESTS_PENDING.set(sum(len(ads) for ads in requests.values()))
+            _NEG_CYCLE_SECONDS.observe(time.perf_counter() - start)
         self.cycles_run += 1
         self.total_matches += len(assignments)
         self.last_cycle_stats = stats
@@ -106,6 +134,7 @@ class Negotiator:
         except ValueError:
             # An ad slipped in without a contact address; the advertising
             # protocol should have rejected it — drop the match, log it.
+            _NEG_NOTIFY_FAILURES.inc()
             self.trace.emit(self.sim.now, "notify-failed", submitter=assignment.submitter)
             return
         self.trace.emit(

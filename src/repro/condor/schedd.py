@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..classads import ClassAd
+from ..obs import metrics as _metrics, tracer as _tracer
 from ..protocols import (
     Advertisement,
     ClaimRequest,
@@ -36,6 +37,22 @@ from ..sim import Network, PoolMetrics, Simulator, Trace
 from .jobs import Job
 from .messages import JobCompleted, JobEvicted, KeepAlive, NoticeAck
 from .states import JobState
+
+_CA_SUBMITTED = _metrics.counter("schedd.jobs_submitted", "jobs enqueued at CAs")
+_CA_COMPLETED = _metrics.counter("schedd.jobs_completed", "jobs finished at CAs")
+_CA_CLAIMS = _metrics.counter("schedd.claims_attempted", "claim requests sent")
+_CA_CLAIMS_GRANTED = _metrics.counter(
+    "schedd.claims_granted", "claim requests the RA accepted"
+)
+_CA_CLAIMS_DENIED = _metrics.counter(
+    "schedd.claims_denied", "claim requests denied, by reason (incl. timeout)"
+)
+_CA_MATCHES_IGNORED = _metrics.counter(
+    "schedd.matches_ignored", "stale match notifications declined by the CA"
+)
+_CA_EVICTIONS = _metrics.counter(
+    "schedd.evictions", "running jobs evicted, by checkpoint outcome"
+)
 
 
 @dataclass
@@ -116,6 +133,7 @@ class CustomerAgent:
         job.state = JobState.IDLE
         self.jobs[job.job_id] = job
         self.metrics.jobs_submitted += 1
+        _CA_SUBMITTED.inc()
         self.trace.emit(self.sim.now, "job-submitted", owner=self.owner, job=job.job_id)
         self._advertise_job(job)
 
@@ -238,6 +256,7 @@ class CustomerAgent:
             # Stale match (job finished, running, or already being claimed):
             # the CA simply declines to proceed — "Either entity may choose
             # to not proceed further and reject the introduction."
+            _CA_MATCHES_IGNORED.inc()
             self.trace.emit(
                 self.sim.now, "match-ignored", owner=self.owner, job=job_id
             )
@@ -276,6 +295,8 @@ class CustomerAgent:
         )
         self._pending_jobs.add(job.job_id)
         self.metrics.claims_attempted += 1
+        _CA_CLAIMS.inc()
+        _tracer.event("claim_requested", owner=self.owner, job=job.job_id)
         self.trace.emit(
             self.sim.now, "claim-request", owner=self.owner, job=job.job_id,
             machine=provider_name,
@@ -288,6 +309,7 @@ class CustomerAgent:
             return
         self._pending_jobs.discard(pending.job.job_id)
         self.metrics.record_claim_rejection("timeout")
+        _CA_CLAIMS_DENIED.inc(reason="timeout")
         self.trace.emit(
             self.sim.now, "claim-timeout", owner=self.owner, job=pending.job.job_id
         )
@@ -302,6 +324,7 @@ class CustomerAgent:
         if not response.accepted:
             job.claim_rejections += 1
             self.metrics.record_claim_rejection(response.reason)
+            _CA_CLAIMS_DENIED.inc(reason=response.reason)
             self.trace.emit(
                 self.sim.now,
                 "claim-rejected",
@@ -310,6 +333,7 @@ class CustomerAgent:
                 reason=response.reason,
             )
             return  # job stays idle; next cycle retries
+        _CA_CLAIMS_GRANTED.inc()
         job.state = JobState.RUNNING
         job.running_on = pending.provider_name
         job.running_match_id = response.match_id
@@ -360,6 +384,7 @@ class CustomerAgent:
         job.running_match_id = None
         self.metrics.jobs_completed += 1
         self.metrics.goodput += message.work_done
+        _CA_COMPLETED.inc()
         turnaround = job.turnaround()
         if turnaround is not None:
             self.metrics.turnaround.add(turnaround)
@@ -378,6 +403,7 @@ class CustomerAgent:
         job.running_match_id = None
         job.evictions += 1
         self.metrics.evictions += 1
+        _CA_EVICTIONS.inc(checkpointed=message.checkpointed)
         if message.checkpointed:
             job.completed_work += message.work_done
             self.metrics.evictions_checkpointed += 1

@@ -26,7 +26,25 @@ from ..classads import ClassAd, is_true
 from ..classads.ast import AttributeRef, BinaryOp, Expr, Literal
 from ..classads.evaluator import evaluate
 from ..classads.values import is_number, is_string
+from ..obs import metrics as _metrics
 from .match import DEFAULT_POLICY, MatchPolicy
+
+# Observability: a "hit" is a lookup whose constraint yielded at least
+# one indexable predicate (the index could prune); a "miss" fell back
+# to the full provider list.  Pruned/candidate totals quantify how much
+# work the index saves ahead of full constraint evaluation.
+_IDX_HITS = _metrics.counter(
+    "index.hits", "lookups where indexable predicates pruned the pool"
+)
+_IDX_MISSES = _metrics.counter(
+    "index.misses", "lookups with no indexable predicate (full scan)"
+)
+_IDX_CANDIDATES = _metrics.counter(
+    "index.candidates", "providers surviving index pre-filtering"
+)
+_IDX_PRUNED = _metrics.counter(
+    "index.pruned", "providers eliminated by index pre-filtering"
+)
 
 #: Attributes indexed for equality by default: the discrete machine
 #: descriptors every job constrains on.
@@ -228,7 +246,17 @@ class ProviderIndex:
         """
         name = policy.constraint_of(customer)
         if name is None:
+            if _metrics.enabled:
+                _IDX_MISSES.inc()
+                _IDX_CANDIDATES.inc(len(self.providers))
             return list(self.providers)
         predicates = extract_predicates(customer[name], customer)
         ids = self.candidate_ids(predicates)
+        if _metrics.enabled:
+            if predicates:
+                _IDX_HITS.inc()
+            else:
+                _IDX_MISSES.inc()
+            _IDX_CANDIDATES.inc(len(ids))
+            _IDX_PRUNED.inc(len(self.providers) - len(ids))
         return [self.providers[i] for i in sorted(ids)]

@@ -21,10 +21,12 @@ Two layers live here:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..classads import ClassAd, is_true
+from ..obs import metrics as _metrics, tracer as _tracer
 from .accounting import Accountant
 from .index import ProviderIndex
 from .match import (
@@ -37,6 +39,26 @@ from .match import (
     rank_candidates,
 )
 from .query import one_way_match, select
+
+# Observability: the hot loop accumulates into the (pre-existing, local)
+# CycleStats and the global counters are bumped once per cycle, so an
+# enabled registry adds a handful of dict updates per cycle — not per
+# (request, provider) pair.
+_MM_CYCLES = _metrics.counter("matchmaker.cycles", "negotiation cycles run")
+_MM_REQUESTS = _metrics.counter("matchmaker.requests", "requests considered")
+_MM_MATCHED = _metrics.counter("matchmaker.matched", "requests matched")
+_MM_REJECTED = _metrics.counter(
+    "matchmaker.rejected", "requests with no compatible provider this cycle"
+)
+_MM_PREEMPTIONS = _metrics.counter(
+    "matchmaker.preemptions", "matches that preempt a running customer"
+)
+_MM_PRUNED = _metrics.counter(
+    "matchmaker.index_pruned", "constraint evaluations saved by index pre-filtering"
+)
+_MM_CYCLE_SECONDS = _metrics.histogram(
+    "matchmaker.cycle_seconds", "wall-clock duration of one negotiation cycle"
+)
 
 
 @dataclass(frozen=True)
@@ -133,7 +155,14 @@ def negotiation_cycle(
     The cycle only *identifies* matches; claiming is the parties' own
     business (separation of matching and claiming).
     """
+    start = time.perf_counter()
     stats = stats if stats is not None else CycleStats()
+    # Callers may pass an accumulating CycleStats; count only this
+    # cycle's delta into the global registry.
+    base_requests = stats.requests_considered
+    base_matched = stats.matched
+    base_preemptions = stats.preemptions
+    base_pruned = stats.constraint_evaluations_saved
     submitters = list(requests_by_submitter.keys())
     if accountant is not None:
         submitters = accountant.negotiation_order(submitters)
@@ -144,6 +173,12 @@ def negotiation_cycle(
     assignments: List[Assignment] = []
 
     def try_match(submitter: str, request: ClassAd) -> bool:
+        with _tracer.span("try_match", submitter=submitter) as span:
+            matched = _try_match(submitter, request)
+            span.annotate(matched=matched)
+            return matched
+
+    def _try_match(submitter: str, request: ClassAd) -> bool:
         stats.requests_considered += 1
         if index is not None:
             pool = index.candidates_for(request, policy)
@@ -205,26 +240,47 @@ def negotiation_cycle(
             s: max(1, int(round(shares[s] * matchable))) for s in submitters
         }
 
-    leftovers: List[Tuple[str, List[ClassAd]]] = []
-    for submitter in submitters:
-        stats.submitters_considered += 1
-        quota = quotas.get(submitter)
-        served = 0
-        remaining: List[ClassAd] = []
-        for position, request in enumerate(requests_by_submitter[submitter]):
-            if quota is not None and served >= quota:
-                remaining = list(requests_by_submitter[submitter][position:])
-                break
-            if try_match(submitter, request):
-                served += 1
-        if remaining:
-            leftovers.append((submitter, remaining))
+    with _tracer.span(
+        "negotiation_cycle",
+        submitters=len(submitters),
+        providers=len(providers),
+        indexed=index is not None,
+    ) as cycle_span:
+        leftovers: List[Tuple[str, List[ClassAd]]] = []
+        for submitter in submitters:
+            stats.submitters_considered += 1
+            quota = quotas.get(submitter)
+            served = 0
+            remaining: List[ClassAd] = []
+            with _tracer.span("submitter", submitter=submitter) as submitter_span:
+                for position, request in enumerate(requests_by_submitter[submitter]):
+                    if quota is not None and served >= quota:
+                        remaining = list(requests_by_submitter[submitter][position:])
+                        break
+                    if try_match(submitter, request):
+                        served += 1
+                submitter_span.annotate(served=served)
+            if remaining:
+                leftovers.append((submitter, remaining))
 
-    # Spin the pie: hand unused capacity to still-hungry submitters in
-    # priority order, unrestricted.
-    for submitter, requests in leftovers:
-        for request in requests:
-            try_match(submitter, request)
+        # Spin the pie: hand unused capacity to still-hungry submitters in
+        # priority order, unrestricted.
+        with _tracer.span("spin_pie", submitters=len(leftovers)):
+            for submitter, requests in leftovers:
+                for request in requests:
+                    try_match(submitter, request)
+        cycle_span.annotate(matched=stats.matched, preemptions=stats.preemptions)
+
+    if _metrics.enabled:
+        requests_seen = stats.requests_considered - base_requests
+        matched = stats.matched - base_matched
+        _MM_CYCLES.inc()
+        _MM_REQUESTS.inc(requests_seen)
+        _MM_MATCHED.inc(matched)
+        _MM_REJECTED.inc(requests_seen - matched)
+        _MM_PREEMPTIONS.inc(stats.preemptions - base_preemptions)
+        _MM_PRUNED.inc(stats.constraint_evaluations_saved - base_pruned)
+        _MM_CYCLE_SECONDS.observe(time.perf_counter() - start)
     return assignments
 
 

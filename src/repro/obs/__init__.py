@@ -1,0 +1,95 @@
+"""repro.obs — the observability layer (metrics, tracing, exporters).
+
+"Turning Cluster Management into Data Management" (Robinson & DeWitt)
+argues Condor-style pool state should itself be queryable data; this
+package applies that to the reproduction.  Every negotiation cycle,
+claim, eviction, and ad-store transition is counted or traced here and
+exported as machine-readable JSON (the ``repro-obs/1`` schema; see
+docs/OBSERVABILITY.md for the metric catalogue and span taxonomy).
+
+Two process-wide singletons carry all instrumentation:
+
+* :data:`metrics` — the global :class:`MetricsRegistry`; instrumented
+  modules declare their counters against it at import time;
+* :data:`tracer` — the global :class:`Tracer` for nested spans.
+
+Both are **disabled by default**: every mutating call bails on one
+boolean check, so an uninstrumented run pays (nearly) nothing.  Turn
+them on programmatically::
+
+    from repro import obs
+    obs.enable()                  # metrics only
+    obs.enable(trace=True)        # metrics + spans
+    ... run ...
+    print(obs.export.snapshot())  # or obs.export.write_json(path)
+    obs.disable(); obs.reset()
+
+or from the environment before the process starts: ``REPRO_OBS=1``
+enables metrics, ``REPRO_OBS_TRACE=1`` additionally enables spans.
+
+This package must stay import-cycle free: it is imported by the lowest
+layers (classads, sim), so it imports nothing from them.
+"""
+
+from __future__ import annotations
+
+import os
+
+from . import export
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, RunningStats
+from .tracer import NULL_SPAN, Span, Tracer
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+#: The process-wide metrics registry.  Modules register metrics against
+#: it at import time; the registry survives enable/disable/reset cycles
+#: so those references never go stale.
+metrics = MetricsRegistry(enabled=_env_flag("REPRO_OBS"))
+
+#: The process-wide span tracer.
+tracer = Tracer(enabled=_env_flag("REPRO_OBS_TRACE"))
+
+
+def enable(trace: bool = False) -> None:
+    """Turn on global metrics collection (and optionally span tracing)."""
+    metrics.enable()
+    if trace:
+        tracer.enable()
+
+
+def disable() -> None:
+    """Turn off all global collection (recorded data is kept)."""
+    metrics.disable()
+    tracer.disable()
+
+
+def is_enabled() -> bool:
+    return metrics.enabled
+
+
+def reset() -> None:
+    """Zero all global metrics and drop all recorded spans/events."""
+    metrics.reset()
+    tracer.reset()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "RunningStats",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "export",
+    "is_enabled",
+    "metrics",
+    "reset",
+    "tracer",
+]

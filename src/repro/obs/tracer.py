@@ -1,0 +1,163 @@
+"""Structured negotiation tracing — the qualitative half of the layer.
+
+Where :mod:`repro.sim.trace` records *simulated-time* protocol events
+for the experiments, this tracer records *wall-clock* spans of the
+implementation itself, nested::
+
+    negotiator_cycle
+      negotiation_cycle          (the pure matchmaking algorithm)
+        submitter                 (one per customer served)
+          try_match               (one per request considered)
+      claim                       (RA-side claim verification)
+
+Each span knows its start, duration, depth, and parent, so a finished
+trace reconstructs the full call tree — which phase of a negotiation
+cycle the time went to, per submitter and per request.  Spans may be
+annotated with outcome fields after entry (``span.annotate(matched=1)``).
+
+Disabled tracers hand out one shared no-op span object: entering a
+span costs a method call and a boolean check, nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One live (or finished) span.  Use as a context manager."""
+
+    __slots__ = ("tracer", "name", "fields", "start", "duration", "depth", "index", "parent")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.fields = fields
+        self.start = 0.0
+        self.duration: Optional[float] = None
+        self.depth = 0
+        self.index = -1
+        self.parent: Optional[int] = None
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach outcome fields (visible in the exported record)."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.depth = len(tracer._stack)
+        self.parent = tracer._stack[-1].index if tracer._stack else None
+        self.index = len(tracer.spans)
+        self.start = time.perf_counter()
+        tracer.spans.append(self)
+        tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self.start
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span": self.name,
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "duration_s": self.duration,
+            "fields": dict(self.fields),
+        }
+
+    def __repr__(self) -> str:
+        dur = f"{self.duration * 1e3:.3f}ms" if self.duration is not None else "open"
+        return f"Span({self.name!r}, {dur}, depth={self.depth})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def annotate(self, **fields: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects nested :class:`Span` records and point events."""
+
+    __slots__ = ("enabled", "spans", "events", "_stack")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self.events: List[Dict[str, Any]] = []
+        self._stack: List[Span] = []
+
+    # -- switches ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self._stack.clear()
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, **fields: Any):
+        """A context manager timing one named phase (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, fields)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """A point event, attributed to the innermost open span."""
+        if not self.enabled:
+            return
+        self.events.append(
+            {
+                "event": name,
+                "parent": self._stack[-1].index if self._stack else None,
+                "fields": fields,
+            }
+        )
+
+    # -- reading ----------------------------------------------------------
+
+    def of_name(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.spans]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Indented wall-clock call tree, for humans."""
+        spans = self.spans if limit is None else self.spans[:limit]
+        lines = []
+        for span in spans:
+            dur = (
+                f"{span.duration * 1e3:8.3f}ms"
+                if span.duration is not None
+                else "    open"
+            )
+            detail = " ".join(f"{k}={v}" for k, v in span.fields.items())
+            lines.append(f"{dur}  {'  ' * span.depth}{span.name} {detail}".rstrip())
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -24,6 +24,17 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..classads import ClassAd
+from ..obs import metrics as _metrics
+
+_ADS_STALE_DROPPED = _metrics.counter(
+    "adstore.stale_dropped", "out-of-order advertisements dropped by sequence"
+)
+_ADS_EXPIRED = _metrics.counter(
+    "adstore.expired", "ads reaped past their advertised lifetime"
+)
+_ADS_REFRESHED = _metrics.counter(
+    "adstore.refreshed", "advertisements admitted (insert or refresh)"
+)
 
 #: Condor's default advertising interval (seconds): RAs/CAs re-send their
 #: ads on this period, and the matchmaker keeps them ~3 periods.
@@ -97,7 +108,9 @@ class AdStore:
         """Admit/refresh an ad; False when dropped as out-of-order."""
         existing = self._store.get(name)
         if existing is not None and sequence < existing.sequence:
+            _ADS_STALE_DROPPED.inc()
             return False
+        _ADS_REFRESHED.inc()
         self._store[name] = StoredAd(
             name=name,
             ad=ad,
@@ -118,6 +131,8 @@ class AdStore:
         dead = [name for name, rec in self._store.items() if rec.expires_at <= now]
         for name in dead:
             del self._store[name]
+        if dead:
+            _ADS_EXPIRED.inc(len(dead))
         return dead
 
     def get(self, name: str) -> Optional[ClassAd]:

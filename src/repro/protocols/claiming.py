@@ -20,8 +20,13 @@ from typing import Optional
 
 from ..classads import ClassAd
 from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy, constraints_satisfied
+from ..obs import metrics as _metrics, tracer as _tracer
 from .messages import ClaimRequest, ClaimResponse
 from .tickets import Ticket, TicketAuthority
+
+_CLAIM_VERDICTS = _metrics.counter(
+    "claims.verified", "RA-side claim verifications, by verdict"
+)
 
 
 class ClaimVerdict(Enum):
@@ -60,13 +65,18 @@ def verify_claim(
        up-to-date request ad, catching anything that changed since the
        stale advertisements matched.
     """
-    if already_claimed:
-        return ClaimDecision(ClaimVerdict.ALREADY_CLAIMED)
-    if authority is not None and not authority.validate(presented_ticket):
-        return ClaimDecision(ClaimVerdict.BAD_TICKET)
-    if not constraints_satisfied(request_ad, current_resource_ad, policy):
-        return ClaimDecision(ClaimVerdict.CONSTRAINT_VIOLATED)
-    return ClaimDecision(ClaimVerdict.ACCEPTED)
+    with _tracer.span("claim") as span:
+        if already_claimed:
+            verdict = ClaimVerdict.ALREADY_CLAIMED
+        elif authority is not None and not authority.validate(presented_ticket):
+            verdict = ClaimVerdict.BAD_TICKET
+        elif not constraints_satisfied(request_ad, current_resource_ad, policy):
+            verdict = ClaimVerdict.CONSTRAINT_VIOLATED
+        else:
+            verdict = ClaimVerdict.ACCEPTED
+        span.annotate(verdict=verdict.value)
+    _CLAIM_VERDICTS.inc(verdict=verdict.value)
+    return ClaimDecision(verdict)
 
 
 def respond_to_claim(

@@ -11,55 +11,20 @@ the central metrics are:
 * per-job **wait time** and **makespan**, and pool **utilization**.
 
 :class:`RunningStats` implements Welford's online algorithm so million-
-event runs never hold per-sample lists.
+event runs never hold per-sample lists.  It now lives in
+:mod:`repro.obs.registry` (the observability layer's histograms are
+built on it and must sit below this package in the import graph); the
+name is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
+from ..obs.registry import RunningStats
 
-class RunningStats:
-    """Numerically stable online mean/variance/min/max."""
-
-    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
-
-    def __init__(self):
-        self.count = 0
-        self._mean = 0.0
-        self._m2 = 0.0
-        self.minimum = math.inf
-        self.maximum = -math.inf
-
-    def add(self, value: float) -> None:
-        self.count += 1
-        delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
-
-    @property
-    def mean(self) -> float:
-        return self._mean if self.count else 0.0
-
-    @property
-    def variance(self) -> float:
-        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
-
-    @property
-    def stdev(self) -> float:
-        return math.sqrt(self.variance)
-
-    def __repr__(self) -> str:
-        if not self.count:
-            return "RunningStats(empty)"
-        return (
-            f"RunningStats(n={self.count}, mean={self.mean:.3f}, "
-            f"sd={self.stdev:.3f}, min={self.minimum:.3f}, max={self.maximum:.3f})"
-        )
+__all__ = ["PoolMetrics", "RunningStats", "UtilizationTracker"]
 
 
 @dataclass
@@ -102,6 +67,26 @@ class PoolMetrics:
     def goodput_fraction(self) -> float:
         total = self.goodput + self.badput
         return self.goodput / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible snapshot (feeds the BENCH_*.json reports)."""
+        return {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "completion_rate": self.completion_rate,
+            "evictions": self.evictions,
+            "evictions_checkpointed": self.evictions_checkpointed,
+            "preemptions": self.preemptions,
+            "claims_attempted": self.claims_attempted,
+            "claims_rejected": self.claims_rejected,
+            "claim_rejections_by_reason": dict(self.claim_rejections_by_reason),
+            "goodput": self.goodput,
+            "badput": self.badput,
+            "goodput_fraction": self.goodput_fraction,
+            "wait_time": self.wait_time.to_dict(),
+            "turnaround": self.turnaround.to_dict(),
+            "match_latency": self.match_latency.to_dict(),
+        }
 
     def summary(self) -> str:
         lines = [

@@ -12,6 +12,8 @@ Invariants under test:
 
 import string
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -36,6 +38,8 @@ from repro.classads import (
     values_identical,
 )
 from repro.classads.lexer import KEYWORDS
+
+pytestmark = pytest.mark.slow
 
 _RESERVED = KEYWORDS | {"self", "other", "my", "target"}
 

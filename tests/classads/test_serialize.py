@@ -115,6 +115,7 @@ values = st.recursive(
 )
 
 
+@pytest.mark.slow
 class TestRoundTripProperty:
     @given(st.dictionaries(identifiers, values, max_size=6))
     @settings(max_examples=200, deadline=None)

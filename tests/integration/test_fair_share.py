@@ -12,6 +12,8 @@ import pytest
 
 from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
 
+pytestmark = pytest.mark.slow
+
 
 def contended_pool(n_machines=4, seed=17, half_life=1_800.0):
     specs = [MachineSpec(name=f"m{i}", mips=100.0) for i in range(n_machines)]

@@ -16,6 +16,8 @@ from repro.condor import (
 )
 from repro.condor.machine import OwnerModel
 
+pytestmark = pytest.mark.slow
+
 
 class ScriptedOwner(OwnerModel):
     def __init__(self, first_arrival, active_for, idle_for=1e9):

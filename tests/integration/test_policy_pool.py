@@ -19,6 +19,8 @@ from repro.condor import (
 )
 from repro.sim import RngStream
 
+pytestmark = pytest.mark.slow
+
 GROUP_A = ["raman", "miron"]
 GROUP_B = ["solomon", "jbasney"]
 

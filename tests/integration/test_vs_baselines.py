@@ -28,6 +28,8 @@ from repro.condor import (
     PoolConfig,
 )
 
+pytestmark = pytest.mark.slow
+
 HORIZON = 86_400.0  # one simulated day
 
 

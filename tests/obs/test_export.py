@@ -1,0 +1,130 @@
+"""Exporter schema tests and global-singleton integration tests."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import OBS_SCHEMA, dump, snapshot, write_json
+
+
+@pytest.fixture
+def populated():
+    registry = MetricsRegistry(enabled=True)
+    tracer = Tracer(enabled=True)
+    registry.counter("matchmaker.matched", "matches made").inc(3)
+    registry.counter("claims.verified").inc(verdict="accepted")
+    registry.histogram("matchmaker.cycle_seconds").observe(0.25)
+    registry.gauge("collector.store_size").set(12)
+    with tracer.span("negotiation_cycle", submitters=2):
+        with tracer.span("try_match") as span:
+            span.annotate(matched=True)
+        tracer.event("claim_requested", job=1)
+    return registry, tracer
+
+
+class TestSnapshotSchema:
+    def test_top_level_shape(self, populated):
+        registry, tracer = populated
+        snap = snapshot(registry, tracer)
+        assert snap["schema"] == OBS_SCHEMA == "repro-obs/1"
+        assert set(snap) == {"schema", "metrics", "spans", "events"}
+
+    def test_metrics_section(self, populated):
+        registry, tracer = populated
+        snap = snapshot(registry, tracer)
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        assert by_name["matchmaker.matched"]["kind"] == "counter"
+        assert by_name["matchmaker.matched"]["samples"][0]["value"] == 3
+        assert by_name["claims.verified"]["samples"][0]["labels"] == {
+            "verdict": "accepted"
+        }
+        hist = by_name["matchmaker.cycle_seconds"]
+        assert hist["kind"] == "histogram"
+        assert hist["samples"][0]["value"]["count"] == 1
+        assert by_name["collector.store_size"]["kind"] == "gauge"
+
+    def test_spans_and_events_sections(self, populated):
+        registry, tracer = populated
+        snap = snapshot(registry, tracer)
+        assert [s["span"] for s in snap["spans"]] == [
+            "negotiation_cycle",
+            "try_match",
+        ]
+        assert snap["spans"][1]["parent"] == 0
+        assert snap["events"][0]["event"] == "claim_requested"
+
+    def test_snapshot_is_json_serializable(self, populated):
+        registry, tracer = populated
+        text = json.dumps(snapshot(registry, tracer))
+        assert json.loads(text)["schema"] == "repro-obs/1"
+
+    def test_prefix_filters_metrics(self, populated):
+        registry, tracer = populated
+        snap = snapshot(registry, tracer, prefix="matchmaker.")
+        names = [m["name"] for m in snap["metrics"]]
+        assert names == ["matchmaker.cycle_seconds", "matchmaker.matched"]
+
+
+class TestWriteJson:
+    def test_round_trip_via_file(self, populated, tmp_path):
+        registry, tracer = populated
+        path = write_json(str(tmp_path / "obs.json"), registry, tracer)
+        with open(path) as handle:
+            snap = json.load(handle)
+        assert snap["schema"] == "repro-obs/1"
+        assert len(snap["spans"]) == 2
+
+
+class TestDump:
+    def test_human_dump_renders_values(self, populated):
+        registry, tracer = populated
+        stream = io.StringIO()
+        dump(registry, tracer, stream=stream)
+        text = stream.getvalue()
+        assert "matchmaker.matched 3" in text
+        assert "claims.verified{verdict=accepted} 1" in text
+        assert "negotiation_cycle" in text
+
+
+class TestGlobalSingletons:
+    """snapshot() with no arguments reads the process-wide state."""
+
+    @pytest.fixture(autouse=True)
+    def clean_globals(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_disabled_by_default_in_tests(self):
+        assert not obs.is_enabled()
+
+    def test_enable_records_and_snapshot_sees_it(self):
+        obs.enable(trace=True)
+        obs.metrics.counter("test.only").inc(2)
+        with obs.tracer.span("test_span"):
+            pass
+        snap = snapshot()
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        assert by_name["test.only"]["samples"][0]["value"] == 2
+        assert any(s["span"] == "test_span" for s in snap["spans"])
+
+    def test_enable_without_trace_leaves_spans_off(self):
+        obs.enable()
+        assert obs.metrics.enabled
+        assert not obs.tracer.enabled
+
+    def test_reset_clears_recorded_state(self):
+        obs.enable(trace=True)
+        obs.metrics.counter("test.only").inc()
+        with obs.tracer.span("s"):
+            pass
+        obs.reset()
+        snap = snapshot()
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        assert by_name["test.only"]["samples"] == []
+        assert snap["spans"] == []

@@ -1,0 +1,249 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, RunningStats
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_basic_increment(self, registry):
+        c = registry.counter("requests", "requests seen")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+        assert c.total == 3
+
+    def test_labels_split_totals(self, registry):
+        c = registry.counter("claims")
+        c.inc(verdict="accepted")
+        c.inc(verdict="accepted")
+        c.inc(verdict="rejected")
+        assert c.value(verdict="accepted") == 2
+        assert c.value(verdict="rejected") == 1
+        assert c.value(verdict="never_seen") == 0
+        assert c.total == 3
+
+    def test_label_order_is_irrelevant(self, registry):
+        c = registry.counter("multi")
+        c.inc(a=1, b=2)
+        c.inc(b=2, a=1)
+        assert c.value(a=1, b=2) == 2
+        assert c.value(b=2, a=1) == 2
+
+    def test_samples_carry_labels(self, registry):
+        c = registry.counter("s")
+        c.inc(5, kind="x")
+        (sample,) = c.samples()
+        assert sample == {"labels": {"kind": "x"}, "value": 5}
+
+
+class TestGauge:
+    def test_set_overwrites(self, registry):
+        g = registry.gauge("pool_size")
+        g.set(10)
+        g.set(7)
+        assert g.value() == 7
+
+    def test_add_accumulates(self, registry):
+        g = registry.gauge("queue_depth")
+        g.add(3)
+        g.add(-1)
+        assert g.value() == 2
+
+
+class TestHistogram:
+    def test_observe_builds_running_stats(self, registry):
+        h = registry.histogram("cycle_seconds")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        stats = h.stats()
+        assert isinstance(stats, RunningStats)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_per_label_distributions(self, registry):
+        h = registry.histogram("latency")
+        h.observe(1.0, op="match")
+        h.observe(9.0, op="claim")
+        assert h.stats(op="match").mean == pytest.approx(1.0)
+        assert h.stats(op="claim").mean == pytest.approx(9.0)
+        assert h.stats(op="other") is None
+
+    def test_samples_are_summaries(self, registry):
+        h = registry.histogram("d")
+        h.observe(2.0)
+        h.observe(4.0)
+        (sample,) = h.samples()
+        summary = sample["value"]
+        assert summary["count"] == 2
+        assert summary["sum"] == pytest.approx(6.0)
+        assert summary["mean"] == pytest.approx(3.0)
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, registry):
+        a = registry.counter("x", "first")
+        b = registry.counter("x", "second wins nothing")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_reset_keeps_registrations(self, registry):
+        c = registry.counter("x")
+        c.inc(4)
+        registry.reset()
+        assert c.value() == 0
+        assert registry.get("x") is c
+
+    def test_snapshot_lists_empty_metrics(self, registry):
+        registry.counter("never_touched", "catalogue entry")
+        snap = registry.snapshot()
+        assert snap == [
+            {
+                "name": "never_touched",
+                "kind": "counter",
+                "description": "catalogue entry",
+                "samples": [],
+            }
+        ]
+
+    def test_snapshot_prefix_filter(self, registry):
+        registry.counter("a.one").inc()
+        registry.counter("b.two").inc()
+        names = [m["name"] for m in registry.snapshot(prefix="a.")]
+        assert names == ["a.one"]
+
+    def test_totals_collapses_labels(self, registry):
+        c = registry.counter("claims")
+        c.inc(2, verdict="ok")
+        c.inc(1, verdict="bad")
+        registry.gauge("size").set(9)  # gauges excluded from totals
+        assert registry.totals() == {"claims": 3}
+
+    def test_collector_flushes_before_reads(self, registry):
+        c = registry.counter("deferred")
+        pending = [5]
+
+        def flush():
+            if pending[0]:
+                c.inc(pending[0])
+                pending[0] = 0
+
+        registry.register_collector(flush)
+        assert registry.totals()["deferred"] == 5
+        assert pending[0] == 0
+
+    def test_collector_flushes_before_reset(self, registry):
+        c = registry.counter("deferred")
+        calls = []
+        registry.register_collector(lambda: calls.append(1))
+        registry.reset()
+        assert calls  # reset must settle pending values first
+        assert c.value() == 0
+
+
+class TestDisabled:
+    """The no-op fast path: a disabled registry records nothing."""
+
+    def test_disabled_counter_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("x")
+        c.inc()
+        c.inc(10, label="y")
+        assert c.value() == 0
+        assert c.total == 0
+        assert c._values == {}  # no allocation at all
+
+    def test_disabled_gauge_and_histogram_record_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        g = registry.gauge("g")
+        h = registry.histogram("h")
+        g.set(5)
+        g.add(2)
+        h.observe(1.0)
+        assert g._values == {}
+        assert h._values == {}
+
+    def test_enable_disable_round_trip(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("x")
+        c.inc()
+        registry.enable()
+        c.inc()
+        registry.disable()
+        c.inc()
+        assert c.value() == 1
+
+    def test_disabled_overhead_is_near_zero(self):
+        """Coarse guard: disabled inc() must cost no more than a few
+        times an attribute check + call (i.e. stay within an order of
+        magnitude of a pure no-op call)."""
+        import time
+
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("x")
+        n = 200_000
+
+        def noop():
+            return None
+
+        start = time.perf_counter()
+        for _ in range(n):
+            noop()
+        base = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(n):
+            c.inc()
+        disabled = time.perf_counter() - start
+
+        assert disabled < base * 10 + 0.05
+
+
+class TestRunningStats:
+    def test_welford_matches_direct_computation(self):
+        values = [3.0, 1.5, 4.0, 1.0, 5.5]
+        rs = RunningStats()
+        for v in values:
+            rs.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert rs.mean == pytest.approx(mean)
+        assert rs.variance == pytest.approx(var)
+        assert rs.total == pytest.approx(sum(values))
+
+    def test_empty_stats_are_zero(self):
+        rs = RunningStats()
+        assert rs.mean == 0.0
+        assert rs.variance == 0.0
+        assert rs.to_dict() == {
+            "count": 0,
+            "sum": 0.0,
+            "mean": 0.0,
+            "stdev": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+        }
+
+    def test_reexported_by_sim_metrics(self):
+        from repro.sim.metrics import RunningStats as SimRunningStats
+
+        assert SimRunningStats is RunningStats
+
+
+def test_types_exported():
+    registry = MetricsRegistry()
+    assert isinstance(registry.counter("c"), Counter)
+    assert isinstance(registry.gauge("g"), Gauge)
+    assert isinstance(registry.histogram("h"), Histogram)

@@ -1,0 +1,126 @@
+"""Unit tests for the span tracer (nesting, events, no-op path)."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestNesting:
+    def test_parent_depth_index_tree(self, tracer):
+        with tracer.span("cycle") as cycle:
+            with tracer.span("submitter") as sub:
+                with tracer.span("try_match"):
+                    pass
+                with tracer.span("try_match"):
+                    pass
+            with tracer.span("spin_pie"):
+                pass
+
+        assert [s.name for s in tracer.spans] == [
+            "cycle",
+            "submitter",
+            "try_match",
+            "try_match",
+            "spin_pie",
+        ]
+        assert cycle.depth == 0 and cycle.parent is None
+        assert sub.depth == 1 and sub.parent == cycle.index
+        matches = tracer.of_name("try_match")
+        assert all(m.parent == sub.index and m.depth == 2 for m in matches)
+        assert tracer.spans[-1].parent == cycle.index
+
+    def test_durations_are_measured_and_nested(self, tracer):
+        import time
+
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.002)
+        outer, inner = tracer.spans
+        assert inner.duration is not None and inner.duration >= 0.002
+        assert outer.duration >= inner.duration
+
+    def test_annotate_after_entry(self, tracer):
+        with tracer.span("try_match", submitter="alice") as span:
+            span.annotate(matched=True)
+        assert tracer.spans[0].fields == {"submitter": "alice", "matched": True}
+
+    def test_sequential_spans_share_no_parent(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert tracer.spans[1].parent is None
+        assert tracer.spans[1].depth == 0
+
+
+class TestEvents:
+    def test_event_attributed_to_open_span(self, tracer):
+        with tracer.span("claim") as span:
+            tracer.event("claim_requested", job=7)
+        (event,) = tracer.events
+        assert event["event"] == "claim_requested"
+        assert event["parent"] == span.index
+        assert event["fields"] == {"job": 7}
+
+    def test_toplevel_event_has_no_parent(self, tracer):
+        tracer.event("tick")
+        assert tracer.events[0]["parent"] is None
+
+
+class TestExportShapes:
+    def test_to_dicts_schema(self, tracer):
+        with tracer.span("cycle", providers=3):
+            pass
+        (d,) = tracer.to_dicts()
+        assert set(d) == {"span", "index", "parent", "depth", "duration_s", "fields"}
+        assert d["span"] == "cycle"
+        assert d["fields"] == {"providers": 3}
+        assert d["duration_s"] > 0
+
+    def test_render_indents_by_depth(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        text = tracer.render()
+        lines = text.splitlines()
+        assert "outer" in lines[0]
+        assert lines[1].index("inner") > lines[0].index("outer")
+
+    def test_reset_drops_everything(self, tracer):
+        with tracer.span("x"):
+            tracer.event("e")
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.events == []
+        assert tracer._stack == []
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_null_singleton(self):
+        tracer = Tracer(enabled=False)
+        a = tracer.span("cycle", anything=1)
+        b = tracer.span("other")
+        assert a is NULL_SPAN
+        assert b is NULL_SPAN
+
+    def test_null_span_is_inert_context_manager(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("cycle") as span:
+            span.annotate(matched=True)
+            tracer.event("ignored")
+        assert len(tracer) == 0
+        assert tracer.events == []
+
+    def test_enable_mid_run_starts_recording(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("before"):
+            pass
+        tracer.enable()
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.spans] == ["after"]
