@@ -10,7 +10,13 @@ their modern equivalents over ad files:
 * ``repro status POOL [--constraint EXPR]`` — the condor_status view;
 * ``repro q POOL [--owner NAME]`` — the condor_q view;
 * ``repro diagnose JOB POOL`` — why-won't-my-job-match analysis;
-* ``repro convert FILE --to {json,classad}`` — format conversion.
+* ``repro convert FILE --to {json,classad}`` — format conversion;
+* ``repro obs …`` — post-mortems over recorded ``repro-events/1`` logs:
+  ``obs record POOL`` runs negotiation with forensics on and writes the
+  event log, ``obs report FILE`` summarizes it per cycle, ``obs why
+  JOB-ID FILE`` explains one job's rejections (failing conjuncts,
+  undefined attributes, near-miss providers), ``obs tail FILE`` prints
+  the raw stream, ``obs export FILE`` emits the CI-facing JSON summary.
 
 Ad files may be classad source (``[...]``; file extension ``.ad`` or
 anything non-JSON) or JSON (``.json`` or content starting with ``{``).
@@ -230,6 +236,189 @@ def cmd_convert(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# the `obs` family: negotiation forensics over repro-events/1 logs
+
+
+def _load_events(path: str):
+    from .obs.events import EventLogError, read_jsonl
+
+    try:
+        return read_jsonl(path)
+    except OSError as exc:
+        raise CliError(str(exc)) from exc
+    except EventLogError as exc:
+        raise CliError(str(exc)) from exc
+
+
+def _job_of(event) -> Optional[object]:
+    return event.fields.get("job")
+
+
+def _parse_job_id(raw: str):
+    """Job ids are integers in the ads; accept the string form too."""
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
+
+
+def cmd_obs_record(args) -> int:
+    """Run negotiation over a pool file with forensics on; write the log."""
+    from .matchmaking.matchmaker import negotiation_cycle
+    from .obs import event_log
+
+    ads = load_pool(args.pool)
+    machines = [ad for ad in ads if ad.evaluate("Type") == "Machine"]
+    jobs = [ad for ad in ads if ad.evaluate("Type") == "Job"]
+    if not jobs:
+        raise CliError(f"{args.pool}: no Job ads to negotiate for")
+    submitters: dict = {}
+    for job in jobs:
+        owner = job.evaluate("Owner")
+        submitters.setdefault(owner if isinstance(owner, str) else "<unknown>", []).append(job)
+
+    was_enabled = event_log.enabled
+    seq_before = event_log._seq
+    event_log.enable()
+    try:
+        event_log.open_file(args.out)
+        for _ in range(args.cycles):
+            negotiation_cycle(submitters, machines)
+    finally:
+        event_log.close_file()
+        if not was_enabled:
+            event_log.disable()
+    recorded = event_log._seq - seq_before
+    print(f"recorded {recorded} events over {args.cycles} cycle(s) to {args.out}")
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    from .obs.events import summarize
+
+    events = _load_events(args.file)
+    summary = summarize(events)
+    print(f"events   : {summary['events']}")
+    print(f"kinds    : {len(summary['by_kind'])}")
+    if summary["cycles"]:
+        print()
+        print("cycle  requests  matched  rejected  preemptions")
+        for row in summary["cycles"]:
+            print(
+                "{cycle:>5}  {requests:>8}  {matched:>7}  {rejected:>8}  {preemptions:>11}".format(
+                    **{k: ("?" if v is None else v) for k, v in row.items()}
+                )
+            )
+    if summary["top_rejections"]:
+        print()
+        print("top rejection reasons:")
+        for item in summary["top_rejections"]:
+            print(f"  [{item['count']:5d}×] {item['reason']}")
+    print()
+    print("events by kind:")
+    for kind, count in summary["by_kind"].items():
+        print(f"  {kind:<24} {count}")
+    return 0
+
+
+def cmd_obs_why(args) -> int:
+    """Explain one job's negotiation outcome from the recorded stream."""
+    job_id = _parse_job_id(args.job_id)
+    events = _load_events(args.file)
+    mine = [e for e in events if _job_of(e) == job_id]
+    if not mine:
+        print(f"job {job_id}: no recorded events (wrong id, or forensics were off)")
+        return 1
+
+    matches = [e for e in mine if e.kind == "match.made"]
+    rejects = [e for e in mine if e.kind == "match.reject"]
+    unmatched = [e for e in mine if e.kind == "job.unmatched"]
+    claims = [e for e in mine if e.kind == "claim.verdict"]
+    cycles = sorted({e.fields.get("cycle") for e in mine if e.fields.get("cycle") is not None})
+
+    print(
+        f"job {job_id}: {len(matches)} match(es), {len(rejects)} rejection(s)"
+        + (f" across {len(cycles)} cycle(s)" if cycles else "")
+    )
+    for e in matches:
+        print(
+            f"  matched provider {e.fields.get('provider')}"
+            + (f" in cycle {e.fields.get('cycle')}" if e.fields.get("cycle") else "")
+        )
+    for e in claims:
+        print(f"  claim verdict: {e.fields.get('verdict')} at provider {e.fields.get('provider')}")
+
+    if rejects:
+        # Group by attributed reason; constraint failures name the conjunct.
+        grouped: dict = {}
+        for e in rejects:
+            f = e.fields
+            if f.get("reason") == "constraint":
+                key = (
+                    "{side} {constraint}: conjunct {conjunct} is {value}".format(
+                        side=f.get("side", "?"),
+                        constraint=f.get("constraint", "Constraint"),
+                        conjunct=f.get("conjunct", "?"),
+                        value=f.get("value", "false"),
+                    )
+                )
+            else:
+                key = str(f.get("reason", "?"))
+            providers, undefined = grouped.setdefault(key, ([], set()))
+            provider = f.get("provider")
+            if provider is not None and provider not in providers:
+                providers.append(provider)
+            for name in f.get("undefined", ()) or ():
+                undefined.add(name)
+        print("rejections:")
+        for key, (providers, undefined) in sorted(
+            grouped.items(), key=lambda item: -len(item[1][0])
+        ):
+            line = f"  [{len(providers):5d}×] {key}"
+            if providers:
+                shown = ", ".join(str(p) for p in providers[:4])
+                more = len(providers) - 4
+                line += f"   e.g. {shown}" + (f" (+{more} more)" if more > 0 else "")
+            print(line)
+            if undefined:
+                print(f"           undefined attributes: {', '.join(sorted(undefined))}")
+        # Near misses: providers that passed constraints but lost on rank.
+        near = [
+            e.fields.get("provider")
+            for e in rejects
+            if e.fields.get("reason") == "rank-not-above-current"
+        ]
+        if near:
+            print(f"near-miss providers (constraints held, rank too low): {', '.join(map(str, dict.fromkeys(near)))}")
+    if unmatched and not matches:
+        print(f"outcome: unmatched in every recorded cycle ({len(unmatched)} attempt(s))")
+    return 0 if matches else 1
+
+
+def cmd_obs_tail(args) -> int:
+    events = _load_events(args.file)
+    if args.kind:
+        events = [e for e in events if e.kind in set(args.kind)]
+    for event in events[-args.limit :]:
+        print(event)
+    return 0
+
+
+def cmd_obs_export(args) -> int:
+    from .obs.events import summarize
+
+    summary = summarize(_load_events(args.file))
+    text = json.dumps(summary, indent=2, sort_keys=False)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # entry point
 
 
@@ -275,6 +464,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--to", choices=("json", "classad"), required=True)
     p.set_defaults(func=cmd_convert)
+
+    obs = sub.add_parser("obs", help="negotiation forensics (repro-events/1 logs)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    p = obs_sub.add_parser("record", help="negotiate over a pool file, recording events")
+    p.add_argument("pool", help="pool file holding both Job and Machine ads")
+    p.add_argument("--out", default="events.jsonl", help="event log path (default: events.jsonl)")
+    p.add_argument("--cycles", type=int, default=1, help="negotiation cycles to run")
+    p.set_defaults(func=cmd_obs_record)
+
+    p = obs_sub.add_parser("report", help="per-cycle summary of a recorded run")
+    p.add_argument("file", help="repro-events/1 JSONL file")
+    p.set_defaults(func=cmd_obs_report)
+
+    p = obs_sub.add_parser("why", help="explain one job's rejections")
+    p.add_argument("job_id", help="JobId of the job to explain")
+    p.add_argument("file", help="repro-events/1 JSONL file")
+    p.set_defaults(func=cmd_obs_why)
+
+    p = obs_sub.add_parser("tail", help="print the recorded event stream")
+    p.add_argument("file", help="repro-events/1 JSONL file")
+    p.add_argument("--limit", type=int, default=20, help="events to show (default: 20)")
+    p.add_argument("--kind", action="append", help="only these kinds (repeatable)")
+    p.set_defaults(func=cmd_obs_tail)
+
+    p = obs_sub.add_parser("export", help="JSON summary for CI (repro-events-summary/1)")
+    p.add_argument("file", help="repro-events/1 JSONL file")
+    p.add_argument("--out", help="write summary here instead of stdout")
+    p.set_defaults(func=cmd_obs_export)
 
     return parser
 

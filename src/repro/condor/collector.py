@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 from ..classads import ClassAd
 from ..matchmaking import select
-from ..obs import metrics as _metrics
+from ..obs import event_log as _events, metrics as _metrics
 from ..protocols import AdStore, Advertisement, Withdrawal, validate_ad
 from ..sim import Network, Simulator, Trace
 
@@ -80,16 +80,25 @@ class Collector:
                 problems="; ".join(result.problems),
             )
             return
-        if self.store.insert(
+        admitted = self.store.insert(
             message.name,
             message.ad,
             now=self.sim.now,
             lifetime=message.lifetime,
             sequence=message.sequence,
-        ):
+        )
+        if admitted:
             self.ads_admitted += 1
             _COL_ADMITTED.inc()
             _COL_STORE_SIZE.set(len(self.store))
+        if _events.enabled:
+            _events.emit(
+                "ad.arrived",
+                t=self.sim.now,
+                name=message.name,
+                admitted=admitted,
+                lifetime=message.lifetime,
+            )
 
     def _expire(self) -> None:
         expired = self.store.expire(self.sim.now)

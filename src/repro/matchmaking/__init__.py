@@ -25,6 +25,9 @@ from .aggregate import (
 from .diagnose import (
     ClauseReport,
     Diagnosis,
+    FailureAttribution,
+    ReverseReport,
+    attribute_failure,
     diagnose,
     is_unsatisfiable,
     pool_attribute_census,
@@ -66,6 +69,9 @@ __all__ = [
     "Assignment",
     "ClauseReport",
     "Diagnosis",
+    "FailureAttribution",
+    "ReverseReport",
+    "attribute_failure",
     "GangMatch",
     "GangRequest",
     "GangStats",

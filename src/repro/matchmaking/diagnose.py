@@ -18,7 +18,13 @@ This module is that tool (the ancestor of HTCondor's
 * for equality predicates on a pool attribute, report the values the
   pool actually advertises (the "hidden characteristics" discovery);
 * analyze the reverse direction too: of the ads satisfying the request,
-  how many refuse the *requester* (provider-side policy rejections).
+  *which provider-side conjuncts* refuse the requester (not just how
+  many ads) — provider policy is as diagnosable as customer policy;
+* attribute a single failed (request, provider) pair to the side and
+  first failing top-level conjunct that killed it
+  (:func:`attribute_failure`) — the negotiation event log calls this at
+  match time, so the offline analysis above is also captured live for
+  every rejection (see :mod:`repro.obs.events`).
 """
 
 from __future__ import annotations
@@ -28,8 +34,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..classads import ClassAd, Expr, is_true, unparse
+from ..classads.ast import AttributeRef, walk
 from ..classads.evaluator import evaluate
-from ..classads.values import is_number, is_string
+from ..classads.values import is_error, is_number, is_string, is_undefined
 from .index import Predicate, conjuncts, extract_predicates
 from .match import DEFAULT_POLICY, MatchPolicy, constraint_holds
 
@@ -55,6 +62,29 @@ class ClauseReport:
 
 
 @dataclass
+class ReverseReport:
+    """One provider-side conjunct that rejected the requester.
+
+    ``value`` is the three-valued verdict of that conjunct against the
+    requester (``false``, ``undefined``, or ``error`` — remember that
+    ``undefined`` is *not* ``false``: it usually means the request ad is
+    missing an attribute the provider's policy reads)."""
+
+    expression: str
+    value: str
+    count: int
+    examples: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        line = f"[{self.count:5d}×] {self.expression}"
+        if self.value != "false":
+            line += f"  (evaluates to {self.value})"
+        if self.examples:
+            line += f"  e.g. {', '.join(self.examples)}"
+        return line
+
+
+@dataclass
 class Diagnosis:
     """The full analysis of one request against one pool."""
 
@@ -64,6 +94,7 @@ class Diagnosis:
     full_constraint_matches: int
     bilateral_matches: int
     rejected_by_provider_policy: int
+    provider_rejections: List[ReverseReport] = field(default_factory=list)
 
     @property
     def unsatisfiable_clauses(self) -> List[ClauseReport]:
@@ -86,6 +117,13 @@ class Diagnosis:
             f"of those, rejecting this requester : {self.rejected_by_provider_policy}",
             f"bilateral matches                  : {self.bilateral_matches}",
         ]
+        if self.provider_rejections:
+            lines.append("")
+            lines.append(
+                "provider-side rejections (their Constraint, evaluated against"
+                " this requester):"
+            )
+            lines += [f"  {r}" for r in self.provider_rejections]
         if self.unsatisfiable_clauses:
             lines.append("")
             lines.append("UNSATISFIABLE clauses (no ad in the pool satisfies them):")
@@ -95,6 +133,102 @@ class Diagnosis:
 
 def _clause_satisfied(clause: Expr, request: ClassAd, target: ClassAd) -> bool:
     return is_true(evaluate(clause, request, other=target))
+
+
+# ---------------------------------------------------------------------------
+# pairwise failure attribution (the live half of Section 5)
+
+
+@dataclass(frozen=True)
+class FailureAttribution:
+    """Why one candidate (request, provider) pair failed to match.
+
+    ``side`` names whose Constraint failed first — the matchmaking
+    predicate checks the customer's, then the provider's, and so does
+    this.  ``conjunct`` is the first failing top-level conjunct of that
+    Constraint, ``value`` its three-valued verdict (``false`` /
+    ``undefined`` / ``error``), and ``undefined_attrs`` the attribute
+    references inside that conjunct which evaluated to ``undefined`` —
+    the "you asked for an attribute nobody advertises" signal.
+    """
+
+    side: str  # "customer" | "provider"
+    constraint: str  # the Constraint/Requirements attribute that failed
+    conjunct: str  # first failing top-level conjunct, unparsed
+    value: str  # "false" | "undefined" | "error"
+    undefined_attrs: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        text = f"{self.side} {self.constraint}: {self.conjunct} is {self.value}"
+        if self.undefined_attrs:
+            text += f" (undefined: {', '.join(self.undefined_attrs)})"
+        return text
+
+
+def _verdict(value) -> str:
+    if is_undefined(value):
+        return "undefined"
+    if is_error(value):
+        return "error"
+    return "false"
+
+
+def _undefined_refs(clause: Expr, ad: ClassAd, other: ClassAd) -> Tuple[str, ...]:
+    """Attribute references in *clause* that evaluate to ``undefined``."""
+    names: List[str] = []
+    for node in walk(clause):
+        if not isinstance(node, AttributeRef):
+            continue
+        if is_undefined(evaluate(node, ad, other=other)):
+            display = node.name if node.scope is None else f"{node.scope}.{node.name}"
+            if display not in names:
+                names.append(display)
+    return tuple(names)
+
+
+def _attribute_side(
+    side: str, ad: ClassAd, other: ClassAd, policy: MatchPolicy
+) -> FailureAttribution:
+    """*ad*'s Constraint rejected *other*; find the first failing conjunct."""
+    name = policy.constraint_of(ad)
+    assert name is not None, "an unconstrained ad cannot reject"
+    for clause in conjuncts(ad[name]):
+        value = evaluate(clause, ad, other=other)
+        if not is_true(value):
+            return FailureAttribution(
+                side=side,
+                constraint=name,
+                conjunct=unparse(clause),
+                value=_verdict(value),
+                undefined_attrs=_undefined_refs(clause, ad, other),
+            )
+    # Unreachable for a pure top-level conjunction, but non-strict
+    # operators could in principle make the whole fail while every
+    # conjunct holds; attribute to the full expression.
+    return FailureAttribution(
+        side=side,
+        constraint=name,
+        conjunct=unparse(ad[name]),
+        value=_verdict(ad.evaluate(name, other=other)),
+    )
+
+
+def attribute_failure(
+    request: ClassAd,
+    provider: ClassAd,
+    policy: MatchPolicy = DEFAULT_POLICY,
+) -> Optional[FailureAttribution]:
+    """Which side's Constraint killed this pair, and which conjunct?
+
+    Returns None when the pair is actually bilaterally compatible.  The
+    customer's Constraint is checked first, mirroring the order of
+    :func:`~repro.matchmaking.match.constraints_satisfied`.
+    """
+    if not constraint_holds(request, provider, policy):
+        return _attribute_side("customer", request, provider, policy)
+    if not constraint_holds(provider, request, policy):
+        return _attribute_side("provider", provider, request, policy)
+    return None
 
 
 def _value_census(
@@ -166,6 +300,7 @@ def diagnose(
             )
         )
 
+    reverse: Dict[Tuple[str, str], ReverseReport] = {}
     for ad in pool:
         if constraint_name is None or is_true(
             request.evaluate(constraint_name, other=ad)
@@ -175,6 +310,19 @@ def diagnose(
                 bilateral += 1
             else:
                 rejected_by_policy += 1
+                attribution = _attribute_side("provider", ad, request, policy)
+                key = (attribution.conjunct, attribution.value)
+                report = reverse.get(key)
+                if report is None:
+                    report = reverse[key] = ReverseReport(
+                        expression=attribution.conjunct,
+                        value=attribution.value,
+                        count=0,
+                    )
+                report.count += 1
+                name = ad.evaluate("Name")
+                if isinstance(name, str) and len(report.examples) < 4:
+                    report.examples.append(name)
 
     owner = request.evaluate("Owner")
     job_id = request.evaluate("JobId")
@@ -188,6 +336,9 @@ def diagnose(
         full_constraint_matches=full_matches,
         bilateral_matches=bilateral,
         rejected_by_provider_policy=rejected_by_policy,
+        provider_rejections=sorted(
+            reverse.values(), key=lambda r: r.count, reverse=True
+        ),
     )
 
 

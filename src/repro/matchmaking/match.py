@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..classads import ClassAd, is_true, rank_value
+from ..obs import event_log as _events
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,39 @@ class Match:
         return (self.customer_rank, self.provider_rank, -self.index)
 
 
+def _emit_pair_reject(
+    customer: ClassAd, provider: ClassAd, policy: MatchPolicy, context: str
+) -> None:
+    """Record a failed candidate pair in the forensic event log, with the
+    same clause-level attribution the negotiation cycle captures.
+
+    Callers gate on ``_events.enabled`` (hoisted to a local), so the hot
+    path pays nothing while the log is off.  The import is deferred:
+    :mod:`.diagnose` imports this module.
+    """
+    from .diagnose import attribute_failure
+
+    attribution = attribute_failure(customer, provider, policy)
+    fields = {"reason": "constraint", "context": context}
+    if attribution is not None:
+        fields.update(
+            side=attribution.side,
+            constraint=attribution.constraint,
+            conjunct=attribution.conjunct,
+            value=attribution.value,
+        )
+        if attribution.undefined_attrs:
+            fields["undefined"] = list(attribution.undefined_attrs)
+    job_id = customer.evaluate("JobId")
+    name = provider.evaluate("Name")
+    _events.emit(
+        "match.reject",
+        job=job_id if isinstance(job_id, int) else None,
+        provider=name if isinstance(name, str) else None,
+        **fields,
+    )
+
+
 def rank_candidates(
     customer: ClassAd,
     providers: Sequence[ClassAd],
@@ -101,9 +135,12 @@ def rank_candidates(
     Ordering: customer's Rank of the provider, then the provider's Rank
     of the customer (the paper's tie-break), then input order.
     """
+    emit_events = _events.enabled
     matches = []
     for index, provider in enumerate(providers):
         if not constraints_satisfied(customer, provider, policy):
+            if emit_events:
+                _emit_pair_reject(customer, provider, policy, "rank_candidates")
             continue
         matches.append(
             Match(
@@ -128,9 +165,12 @@ def best_match(
     Unlike :func:`rank_candidates` this is a single pass without sorting
     — it is the negotiation-cycle hot path (experiment E6).
     """
+    emit_events = _events.enabled
     best: Optional[Match] = None
     for index, provider in enumerate(providers):
         if not constraints_satisfied(customer, provider, policy):
+            if emit_events:
+                _emit_pair_reject(customer, provider, policy, "best_match")
             continue
         candidate = Match(
             customer=customer,

@@ -21,13 +21,16 @@ Two layers live here:
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..classads import ClassAd, is_true
-from ..obs import metrics as _metrics, tracer as _tracer
+from ..classads.ast import Literal
+from ..obs import event_log as _events, metrics as _metrics, tracer as _tracer
 from .accounting import Accountant
+from .diagnose import attribute_failure
 from .index import ProviderIndex
 from .match import (
     DEFAULT_POLICY,
@@ -59,6 +62,35 @@ _MM_PRUNED = _metrics.counter(
 _MM_CYCLE_SECONDS = _metrics.histogram(
     "matchmaker.cycle_seconds", "wall-clock duration of one negotiation cycle"
 )
+
+#: Process-wide negotiation-cycle numbering for the forensic event log —
+#: every ``cycle.*``/``match.*`` event carries one of these so post-mortem
+#: queries can group a run's events by cycle.
+_CYCLE_IDS = itertools.count(1)
+
+
+def _identity_field(ad: ClassAd, name: str):
+    """Fast identity read for event fields: ads bind ``Name``/``JobId``
+    to plain literals, which can be read off the AST without paying the
+    evaluator — the per-rejection emit path must stay cheap enough to
+    hold the <=5% events-enabled overhead bar."""
+    expr = ad.lookup(name)
+    if expr is None:
+        return None
+    if isinstance(expr, Literal):
+        value = expr.value
+    else:
+        value = ad.evaluate(name)
+    return value if isinstance(value, (int, float, str)) and not isinstance(value, bool) else None
+
+
+def _job_identity(request: ClassAd) -> Dict[str, object]:
+    """The fields that name a request in forensic events."""
+    return {"job": _identity_field(request, "JobId")}
+
+
+def _provider_name(provider: ClassAd):
+    return _identity_field(provider, "Name")
 
 
 @dataclass(frozen=True)
@@ -169,8 +201,48 @@ def negotiation_cycle(
     else:
         submitters.sort()
 
+    # Forensics: hoist the event-log switch into a local once per cycle, so
+    # the per-pair hot loop pays one local-variable truth test while the
+    # log is off — and records clause-level rejection attribution while on.
+    emit_events = _events.enabled
+    cycle_id = next(_CYCLE_IDS) if emit_events else None
+    if emit_events:
+        _events.emit(
+            "cycle.begin",
+            cycle=cycle_id,
+            submitters=len(submitters),
+            providers=len(providers),
+            indexed=index is not None,
+        )
+
     taken: set = set()  # ids of providers already matched this cycle
     assignments: List[Assignment] = []
+
+    def emit_reject(submitter: str, request: ClassAd, provider: ClassAd, **fields) -> None:
+        _events.emit(
+            "match.reject",
+            cycle=cycle_id,
+            submitter=submitter,
+            provider=_provider_name(provider),
+            **_job_identity(request),
+            **fields,
+        )
+
+    def emit_constraint_reject(submitter: str, request: ClassAd, provider: ClassAd) -> None:
+        """The Section 5 diagnosis, captured at match time: which side's
+        Constraint failed, and on which top-level conjunct."""
+        attribution = attribute_failure(request, provider, policy)
+        fields: Dict[str, object] = {"reason": "constraint"}
+        if attribution is not None:
+            fields.update(
+                side=attribution.side,
+                constraint=attribution.constraint,
+                conjunct=attribution.conjunct,
+                value=attribution.value,
+            )
+            if attribution.undefined_attrs:
+                fields["undefined"] = list(attribution.undefined_attrs)
+        emit_reject(submitter, request, provider, **fields)
 
     def try_match(submitter: str, request: ClassAd) -> bool:
         with _tracer.span("try_match", submitter=submitter) as span:
@@ -188,19 +260,38 @@ def negotiation_cycle(
         chosen: Optional[Tuple[Match, Optional[str]]] = None
         for pid, provider in enumerate(pool):
             if id(provider) in taken:
+                if emit_events:
+                    emit_reject(submitter, request, provider, reason="taken")
                 continue
             preempts: Optional[str] = None
             availability = _availability(provider)
             if availability == "unavailable":
+                if emit_events:
+                    emit_reject(submitter, request, provider, reason="unavailable")
                 continue
             if availability == "preemptable":
                 if not allow_preemption:
+                    if emit_events:
+                        emit_reject(
+                            submitter, request, provider, reason="preemption-disabled"
+                        )
                     continue
                 preempts = _current_owner(provider) or "<unknown>"
             if not constraints_satisfied(request, provider, policy):
+                if emit_events:
+                    emit_constraint_reject(submitter, request, provider)
                 continue
             provider_rank = evaluate_rank(provider, request, policy)
             if preempts is not None and provider_rank <= _current_rank(provider):
+                if emit_events:
+                    emit_reject(
+                        submitter,
+                        request,
+                        provider,
+                        reason="rank-not-above-current",
+                        provider_rank=provider_rank,
+                        current_rank=_current_rank(provider),
+                    )
                 continue  # not strictly preferred: no preemption
             candidate = Match(
                 customer=request,
@@ -212,6 +303,14 @@ def negotiation_cycle(
             if chosen is None or candidate.sort_key > chosen[0].sort_key:
                 chosen = (candidate, preempts)
         if chosen is None:
+            if emit_events:
+                _events.emit(
+                    "job.unmatched",
+                    cycle=cycle_id,
+                    submitter=submitter,
+                    candidates=len(pool),
+                    **_job_identity(request),
+                )
             return False
         match, preempts = chosen
         taken.add(id(match.provider))
@@ -228,6 +327,26 @@ def negotiation_cycle(
         stats.matched += 1
         if preempts is not None:
             stats.preemptions += 1
+        if emit_events:
+            _events.emit(
+                "match.made",
+                cycle=cycle_id,
+                submitter=submitter,
+                provider=_provider_name(match.provider),
+                customer_rank=match.customer_rank,
+                provider_rank=match.provider_rank,
+                preempts=preempts,
+                **_job_identity(request),
+            )
+            if preempts is not None:
+                _events.emit(
+                    "preemption",
+                    cycle=cycle_id,
+                    submitter=submitter,
+                    provider=_provider_name(match.provider),
+                    evicted=preempts,
+                    **_job_identity(request),
+                )
         return True
 
     # Pie slices: cap the first round at each submitter's fair share of
@@ -239,6 +358,16 @@ def negotiation_cycle(
         quotas = {
             s: max(1, int(round(shares[s] * matchable))) for s in submitters
         }
+        if emit_events:
+            for position, s in enumerate(submitters):
+                _events.emit(
+                    "fairshare.quota",
+                    cycle=cycle_id,
+                    submitter=s,
+                    position=position,
+                    quota=quotas[s],
+                    share=shares[s],
+                )
 
     with _tracer.span(
         "negotiation_cycle",
@@ -281,6 +410,18 @@ def negotiation_cycle(
         _MM_PREEMPTIONS.inc(stats.preemptions - base_preemptions)
         _MM_PRUNED.inc(stats.constraint_evaluations_saved - base_pruned)
         _MM_CYCLE_SECONDS.observe(time.perf_counter() - start)
+    if emit_events:
+        requests_seen = stats.requests_considered - base_requests
+        matched = stats.matched - base_matched
+        _events.emit(
+            "cycle.end",
+            cycle=cycle_id,
+            requests=requests_seen,
+            matched=matched,
+            rejected=requests_seen - matched,
+            preemptions=stats.preemptions - base_preemptions,
+            duration_s=time.perf_counter() - start,
+        )
     return assignments
 
 

@@ -7,25 +7,31 @@ claim, eviction, and ad-store transition is counted or traced here and
 exported as machine-readable JSON (the ``repro-obs/1`` schema; see
 docs/OBSERVABILITY.md for the metric catalogue and span taxonomy).
 
-Two process-wide singletons carry all instrumentation:
+Three process-wide singletons carry all instrumentation:
 
 * :data:`metrics` — the global :class:`MetricsRegistry`; instrumented
   modules declare their counters against it at import time;
-* :data:`tracer` — the global :class:`Tracer` for nested spans.
+* :data:`tracer` — the global :class:`Tracer` for nested spans;
+* :data:`event_log` — the global :class:`EventLog`, the structured
+  negotiation-forensics stream (``repro-events/1``; read back with the
+  ``repro obs`` CLI family).
 
-Both are **disabled by default**: every mutating call bails on one
+All are **disabled by default**: every mutating call bails on one
 boolean check, so an uninstrumented run pays (nearly) nothing.  Turn
 them on programmatically::
 
     from repro import obs
     obs.enable()                  # metrics only
     obs.enable(trace=True)        # metrics + spans
+    obs.enable(events=True)       # metrics + the forensic event log
+    obs.event_log.open_file("events.jsonl")   # optional JSONL sink
     ... run ...
     print(obs.export.snapshot())  # or obs.export.write_json(path)
     obs.disable(); obs.reset()
 
 or from the environment before the process starts: ``REPRO_OBS=1``
-enables metrics, ``REPRO_OBS_TRACE=1`` additionally enables spans.
+enables metrics, ``REPRO_OBS_TRACE=1`` additionally enables spans, and
+``REPRO_OBS_EVENTS=1`` additionally enables the event log.
 
 This package must stay import-cycle free: it is imported by the lowest
 layers (classads, sim), so it imports nothing from them.
@@ -36,6 +42,7 @@ from __future__ import annotations
 import os
 
 from . import export
+from .events import EVENTS_SCHEMA, Event, EventLog, EventLogError, event_log
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, RunningStats
 from .tracer import NULL_SPAN, Span, Tracer
 
@@ -52,18 +59,24 @@ metrics = MetricsRegistry(enabled=_env_flag("REPRO_OBS"))
 #: The process-wide span tracer.
 tracer = Tracer(enabled=_env_flag("REPRO_OBS_TRACE"))
 
+if _env_flag("REPRO_OBS_EVENTS"):
+    event_log.enable()
 
-def enable(trace: bool = False) -> None:
-    """Turn on global metrics collection (and optionally span tracing)."""
+
+def enable(trace: bool = False, events: bool = False) -> None:
+    """Turn on global metrics collection (and optionally spans/events)."""
     metrics.enable()
     if trace:
         tracer.enable()
+    if events:
+        event_log.enable()
 
 
 def disable() -> None:
     """Turn off all global collection (recorded data is kept)."""
     metrics.disable()
     tracer.disable()
+    event_log.disable()
 
 
 def is_enabled() -> bool:
@@ -74,10 +87,15 @@ def reset() -> None:
     """Zero all global metrics and drop all recorded spans/events."""
     metrics.reset()
     tracer.reset()
+    event_log.reset()
 
 
 __all__ = [
     "Counter",
+    "EVENTS_SCHEMA",
+    "Event",
+    "EventLog",
+    "EventLogError",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -87,6 +105,7 @@ __all__ = [
     "Tracer",
     "disable",
     "enable",
+    "event_log",
     "export",
     "is_enabled",
     "metrics",

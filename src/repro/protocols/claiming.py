@@ -20,7 +20,7 @@ from typing import Optional
 
 from ..classads import ClassAd
 from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy, constraints_satisfied
-from ..obs import metrics as _metrics, tracer as _tracer
+from ..obs import event_log as _events, metrics as _metrics, tracer as _tracer
 from .messages import ClaimRequest, ClaimResponse
 from .tickets import Ticket, TicketAuthority
 
@@ -76,6 +76,29 @@ def verify_claim(
             verdict = ClaimVerdict.ACCEPTED
         span.annotate(verdict=verdict.value)
     _CLAIM_VERDICTS.inc(verdict=verdict.value)
+    if _events.enabled:
+        job_id = request_ad.evaluate("JobId")
+        owner = request_ad.evaluate("Owner")
+        resource = current_resource_ad.evaluate("Name")
+        fields = {
+            "verdict": verdict.value,
+            "job": job_id if isinstance(job_id, int) else None,
+            "owner": owner if isinstance(owner, str) else None,
+            "provider": resource if isinstance(resource, str) else None,
+        }
+        if verdict is ClaimVerdict.CONSTRAINT_VIOLATED:
+            # The claim-time re-check failed against *current* state:
+            # attribute it exactly like a match-time rejection.
+            from ..matchmaking.diagnose import attribute_failure
+
+            attribution = attribute_failure(request_ad, current_resource_ad, policy)
+            if attribution is not None:
+                fields.update(
+                    side=attribution.side,
+                    conjunct=attribution.conjunct,
+                    value=attribution.value,
+                )
+        _events.emit("claim.verdict", **fields)
     return ClaimDecision(verdict)
 
 

@@ -4,19 +4,42 @@ A trace is an append-only list of (time, kind, fields) records emitted
 by agents; the F3 benchmark renders one into the paper's Figure 3
 sequence (advertise → match → notify → claim), and integration tests
 assert protocol ordering on it.
+
+Since the negotiation-forensics work this module is a **thin consumer
+of the unified event model** in :mod:`repro.obs.events`:
+
+* :class:`TraceEvent` *is* an :class:`repro.obs.events.Event` (plus the
+  legacy ``.time`` accessor), so trace records and forensic records are
+  the same shape;
+* every :meth:`Trace.emit` is mirrored into the global
+  :data:`repro.obs.event_log` — even when this particular trace is
+  disabled — so an enabled event log sees the whole simulated protocol
+  (advertisements, matches, claims, evictions) alongside the
+  matchmaker's own ``cycle.*``/``match.*`` forensics, stamped with
+  simulated time.  The mirror no-ops on one boolean check while the
+  global log is off.
+
+New code should emit through :data:`repro.obs.event_log` directly;
+``Trace`` remains the sim-local, always-unbounded view the experiments
+query.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from ..obs.events import Event
+from ..obs import event_log as _global_log
 
-@dataclass(frozen=True)
-class TraceEvent:
-    time: float
-    kind: str
-    fields: Dict[str, Any]
+
+class TraceEvent(Event):
+    """One trace record: the unified event shape, addressed by sim time."""
+
+    __slots__ = ()
+
+    @property
+    def time(self) -> float:
+        return self.t
 
     def __str__(self) -> str:
         details = " ".join(f"{k}={v}" for k, v in self.fields.items())
@@ -32,7 +55,10 @@ class Trace:
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         if self.enabled:
-            self.events.append(TraceEvent(time, kind, fields))
+            self.events.append(TraceEvent(len(self.events) + 1, time, kind, fields))
+        # Mirror into the forensic event log (no-op while it is off), so
+        # the repo has one queryable event stream, not two.
+        _global_log.emit(kind, t=time, **fields)
 
     def of_kind(self, *kinds: str) -> List[TraceEvent]:
         wanted = set(kinds)

@@ -94,6 +94,37 @@ class TestProviderSideRejections:
         assert report.unsatisfiable_clauses == []  # the *clauses* are fine
         assert report.rejected_by_provider_policy == 1
 
+    def test_reverse_rejections_name_the_failing_conjunct(self):
+        fussy_pool = [
+            machine("m0", constraint='other.Type == "Job" && other.Owner == "miron"'),
+            machine("m1", constraint='other.Type == "Job" && other.Owner == "miron"'),
+            machine("m2", constraint="true"),
+        ]
+        request = job('other.Type == "Machine"', owner="raman")
+        report = diagnose(request, fussy_pool)
+        assert len(report.provider_rejections) == 1
+        reverse = report.provider_rejections[0]
+        assert reverse.expression == 'other.Owner == "miron"'
+        assert reverse.value == "false"
+        assert reverse.count == 2
+        assert set(reverse.examples) == {"m0", "m1"}
+
+    def test_reverse_rejections_surface_undefined(self):
+        fussy_pool = [machine("m0", constraint="other.CpuSecondsPaid >= 100")]
+        request = job('other.Type == "Machine"')
+        report = diagnose(request, fussy_pool)
+        assert len(report.provider_rejections) == 1
+        assert report.provider_rejections[0].value == "undefined"
+
+    def test_render_shows_provider_side_section(self):
+        fussy_pool = [
+            machine("m0", constraint='other.Owner == "miron"'),
+            machine("m1", constraint="true"),
+        ]
+        text = diagnose(job('other.Type == "Machine"'), fussy_pool).render()
+        assert "provider-side rejections" in text
+        assert 'other.Owner == "miron"' in text
+
 
 class TestUnsatisfiableDetector:
     def test_satisfiable(self):

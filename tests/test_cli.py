@@ -196,6 +196,117 @@ class TestValueFormatting:
         assert capsys.readouterr().out.strip() == "3.5"
 
 
+OBS_POOL_SRC = """[
+  Type = "Machine"; Name = "vulture"; Arch = "INTEL"; Memory = 64;
+  State = "Unclaimed"; Constraint = other.Type == "Job"; Rank = 0
+]
+[
+  Type = "Machine"; Name = "condor"; Arch = "SPARC"; Memory = 128;
+  State = "Unclaimed"; Constraint = other.Type == "Job"; Rank = 0
+]
+[
+  Type = "Job"; JobId = 1; Owner = "raman"; QDate = 1;
+  Constraint = other.Type == "Machine" && other.Arch == "INTEL";
+  Rank = other.Memory
+]
+[
+  Type = "Job"; JobId = 2; Owner = "raman"; QDate = 2;
+  Constraint = other.Type == "Machine" && other.Arch == "VAX" && other.Memory >= 32;
+  Rank = 0
+]
+[
+  Type = "Job"; JobId = 3; Owner = "livny"; QDate = 3;
+  Constraint = other.Type == "Machine" && other.HasJava;
+  Rank = 0
+]"""
+
+
+class TestObsCommands:
+    """The negotiation-forensics CLI: record → report/why/tail/export."""
+
+    @pytest.fixture()
+    def events_file(self, tmp_path, capsys):
+        pool = tmp_path / "obspool.ads"
+        pool.write_text(OBS_POOL_SRC)
+        out = str(tmp_path / "events.jsonl")
+        assert main(["obs", "record", str(pool), "--out", out, "--cycles", "2"]) == 0
+        capsys.readouterr()  # swallow the record confirmation line
+        return out
+
+    def test_record_writes_valid_jsonl(self, events_file):
+        from repro.obs.events import read_jsonl
+
+        events = read_jsonl(events_file)
+        assert any(e.kind == "cycle.end" for e in events)
+        assert any(e.kind == "match.reject" for e in events)
+
+    def test_report_summarizes_cycles(self, capsys, events_file):
+        assert main(["obs", "report", events_file]) == 0
+        out = capsys.readouterr().out
+        assert "cycle  requests  matched  rejected" in out
+        assert "top rejection reasons:" in out
+        assert 'other.Arch == "VAX"' in out
+
+    def test_why_names_failing_conjunct(self, capsys, events_file):
+        # Job 2 is genuinely unmatchable: no VAX in the pool.
+        assert main(["obs", "why", "2", events_file]) == 1
+        out = capsys.readouterr().out
+        assert 'conjunct other.Arch == "VAX" is false' in out
+        assert "unmatched in every recorded cycle" in out
+
+    def test_why_names_undefined_attribute(self, capsys, events_file):
+        # Job 3 wants other.HasJava, which no machine ad defines.
+        assert main(["obs", "why", "3", events_file]) == 1
+        out = capsys.readouterr().out
+        assert "conjunct other.HasJava is undefined" in out
+        assert "undefined attributes: other.HasJava" in out
+
+    def test_why_reports_match(self, capsys, events_file):
+        assert main(["obs", "why", "1", events_file]) == 0
+        out = capsys.readouterr().out
+        assert "matched provider vulture" in out
+
+    def test_why_unknown_job(self, capsys, events_file):
+        assert main(["obs", "why", "99", events_file]) == 1
+        assert "no recorded events" in capsys.readouterr().out
+
+    def test_tail_prints_events(self, capsys, events_file):
+        assert main(["obs", "tail", events_file, "--limit", "3"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+        assert "cycle.end" in out[-1]
+
+    def test_tail_kind_filter(self, capsys, events_file):
+        assert main(["obs", "tail", events_file, "--kind", "cycle.begin"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert all("cycle.begin" in line for line in lines)
+
+    def test_export_summary_schema(self, capsys, events_file):
+        assert main(["obs", "export", events_file]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == "repro-events-summary/1"
+        assert len(summary["cycles"]) == 2
+        assert summary["by_kind"]["match.reject"] > 0
+
+    def test_export_to_file(self, capsys, events_file, tmp_path):
+        out = str(tmp_path / "summary.json")
+        assert main(["obs", "export", events_file, "--out", out]) == 0
+        summary = json.loads(open(out).read())
+        assert summary["schema"] == "repro-events-summary/1"
+
+    def test_report_rejects_bad_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not": "a header"}\n')
+        assert main(["obs", "report", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_record_requires_jobs(self, capsys, tmp_path, pool_file):
+        out = str(tmp_path / "events.jsonl")
+        assert main(["obs", "record", pool_file, "--out", out]) == 2
+        assert "no Job ads" in capsys.readouterr().err
+
+
 class TestPoolFormats:
     def test_empty_pool_file(self, tmp_path):
         path = tmp_path / "empty.jsonl"
