@@ -228,6 +228,35 @@ def _measure_overhead(n_machines, n_requests, repeats):
     return best, matched, events_recorded
 
 
+def _measure_compile_speedup(n_machines, n_requests, repeats):
+    """Best-of-*repeats* indexed cycle: compiled closures vs interpreter.
+
+    Interleaved like :func:`_measure_overhead`.  The compiled runs use a
+    warm cache (the steady state of a long-lived matchmaker); the
+    interpreter runs are the ``REPRO_NO_COMPILE=1`` behaviour.
+    """
+    from repro.classads import compile as compiled_path
+
+    rng = RngStream(n_machines, "pool")
+    providers = build_pool(n_machines, rng.fork("machines"))
+    requests = build_requests(n_requests, rng.fork("jobs"))
+    enabled_before = compiled_path.compilation_enabled()
+    best = {"compiled": float("inf"), "interpreted": float("inf")}
+    try:
+        compiled_path.set_compilation(True)
+        run_cycle(providers, requests, True)  # warm-up + cache fill
+        for _ in range(repeats):
+            compiled_path.set_compilation(True)
+            _, elapsed, _ = run_cycle(providers, requests, True)
+            best["compiled"] = min(best["compiled"], elapsed)
+            compiled_path.set_compilation(False)
+            _, elapsed, _ = run_cycle(providers, requests, True)
+            best["interpreted"] = min(best["interpreted"], elapsed)
+    finally:
+        compiled_path.set_compilation(enabled_before)
+    return best
+
+
 def run_smoke(out_dir=None, machines=500, requests=100, repeats=5):
     """The CI smoke benchmark: a reduced sweep + instrumentation overhead.
 
@@ -254,6 +283,8 @@ def run_smoke(out_dir=None, machines=500, requests=100, repeats=5):
     disabled_s = best["off"]
     enabled_s = best["metrics"]
     events_s = best["events"]
+    compile_best = _measure_compile_speedup(machines, requests, repeats)
+    compile_speedup = compile_best["interpreted"] / compile_best["compiled"]
     snapshot_matched = obs.metrics.get("matchmaker.matched").total
     obs.disable()
 
@@ -275,6 +306,9 @@ def run_smoke(out_dir=None, machines=500, requests=100, repeats=5):
         "matches_per_s_events_on": matched / events_s,
         "obs_overhead_pct": overhead_pct,
         "events_overhead_pct": events_overhead_pct,
+        "cycle_s_compiled": compile_best["compiled"],
+        "cycle_s_interpreted": compile_best["interpreted"],
+        "compile_cycle_speedup": compile_speedup,
     }
     report = table(HEADERS, rows) + (
         f"\n\nindexed cycle ({machines} machines, {requests} requests,"
@@ -285,6 +319,8 @@ def run_smoke(out_dir=None, machines=500, requests=100, repeats=5):
         f"\n  events on   : {1000 * events_s:.1f}ms"
         f" (overhead {events_overhead_pct:+.1f}%,"
         f" {events_recorded} events/cycle)"
+        f"\n  interpreter : {1000 * compile_best['interpreted']:.1f}ms"
+        f" (compiled closures are {compile_speedup:.2f}x faster)"
     )
     write_report("E6_scalability_smoke", report, out_dir=out_dir)
     path = write_bench_json(
@@ -301,6 +337,10 @@ def run_smoke(out_dir=None, machines=500, requests=100, repeats=5):
     assert events_overhead_pct <= 5.0, (
         f"forensic event log costs {events_overhead_pct:.1f}% on the smoke"
         " cycle; the acceptance bar is 5%"
+    )
+    assert compile_speedup >= 1.2, (
+        f"compiled-closure cycle is only {compile_speedup:.2f}x the"
+        " interpreter on the smoke cycle; expected a clear win (>= 1.2x)"
     )
     return path
 

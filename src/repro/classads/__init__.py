@@ -32,8 +32,15 @@ from .ast import (
     walk,
 )
 from .classad import ClassAd
+from .compile import (
+    CompiledExpr,
+    compilation_enabled,
+    compile_expr,
+    evaluate,
+    evaluate_attribute,
+    set_compilation,
+)
 from .errors import ClassAdException, EvaluationLimitExceeded, LexerError, ParseError
-from .evaluator import evaluate, evaluate_attribute
 from .parser import parse, parse_record
 from .serialize import SerializationError, dumps, from_json_obj, loads, to_json_obj
 from .unparse import unparse, unparse_classad
@@ -56,6 +63,7 @@ __all__ = [
     "BinaryOp",
     "ClassAd",
     "ClassAdException",
+    "CompiledExpr",
     "Conditional",
     "ERROR",
     "ErrorValue",
@@ -72,8 +80,11 @@ __all__ = [
     "UNDEFINED",
     "UnaryOp",
     "UndefinedType",
+    "compilation_enabled",
+    "compile_expr",
     "evaluate",
     "evaluate_attribute",
+    "set_compilation",
     "external_references",
     "is_classad",
     "is_error",

@@ -64,13 +64,17 @@ class ClassAd:
     * Insertion order is preserved for faithful unparsing.
     """
 
-    __slots__ = ("_fields", "_names")
+    __slots__ = ("_fields", "_names", "_ccache")
 
     def __init__(self, fields: Union[None, Mapping, Iterable[Tuple[str, Any]]] = None):
         # _fields maps canonical (lowercase) name -> Expr;
         # _names maps canonical name -> original spelling, in insert order.
+        # _ccache lazily maps canonical name -> (Expr, compiled closure);
+        # owned by repro.classads.compile, entries validated by expression
+        # identity and dropped on rebinding.
         self._fields: Dict[str, Expr] = {}
         self._names: Dict[str, str] = {}
+        self._ccache: Optional[dict] = None
         if fields is not None:
             items = fields.items() if isinstance(fields, Mapping) else fields
             for name, value in items:
@@ -83,6 +87,8 @@ class ClassAd:
         if key not in self._names:
             self._names[key] = name
         self._fields[key] = _value_to_expr(value)
+        if self._ccache is not None:
+            self._ccache.pop(key, None)
 
     def __getitem__(self, name: str) -> Expr:
         expr = self._fields.get(name.lower())
@@ -96,6 +102,8 @@ class ClassAd:
             raise KeyError(name)
         del self._fields[key]
         del self._names[key]
+        if self._ccache is not None:
+            self._ccache.pop(key, None)
 
     def __contains__(self, name: object) -> bool:
         return isinstance(name, str) and name.lower() in self._fields
@@ -145,14 +153,18 @@ class ClassAd:
 
         Returns ``undefined`` when the attribute is absent, mirroring the
         language rule for dangling references.
+
+        Served by the closure-compiled evaluator (:mod:`.compile`) with
+        the tree-walking interpreter as fallback and kill-switch
+        (``REPRO_NO_COMPILE=1``).
         """
-        from .evaluator import evaluate_attribute
+        from .compile import evaluate_attribute
 
         return evaluate_attribute(self, name, other=other, **kwargs)
 
     def eval_expr(self, source_or_expr, other: Optional["ClassAd"] = None, **kwargs):
         """Evaluate an expression (source text or Expr) against this ad."""
-        from .evaluator import evaluate
+        from .compile import evaluate
         from .parser import parse
 
         expr = (

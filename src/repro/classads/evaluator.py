@@ -99,6 +99,18 @@ def _flush_eval_counters() -> None:
 _metrics.register_collector(_flush_eval_counters)
 
 
+def _note_evaluation(steps: int) -> None:
+    """Record one toplevel evaluation of *steps* nodes (compiled path).
+
+    The compiled evaluator (:mod:`.compile`) reports its conservative
+    static step charge here so ``classads.evaluations`` and
+    ``classads.eval_steps`` keep counting whichever path served a call.
+    """
+    global _pending_evaluations, _pending_steps
+    _pending_evaluations += 1
+    _pending_steps += steps
+
+
 class _EvalState:
     """Mutable evaluation context for one toplevel evaluate() call.
 
@@ -418,7 +430,9 @@ def _arith(op: str, left, right):
             return ErrorValue("division by zero")
         if isinstance(l, int) and isinstance(r, int):
             # C-like truncation toward zero, matching classic ClassAds.
-            return int(l / r) if (l < 0) != (r < 0) else l // r
+            # Pure integer arithmetic: round-tripping through float (the
+            # obvious int(l / r)) silently loses precision past 2**53.
+            return -(-l // r) if (l < 0) != (r < 0) else l // r
         return l / r
     if op == "%":
         if not (isinstance(l, int) and isinstance(r, int)):
@@ -426,7 +440,8 @@ def _arith(op: str, left, right):
         if r == 0:
             return ErrorValue("modulus by zero")
         # C semantics: result takes the sign of the dividend.
-        return l - r * int(l / r)
+        quotient = -(-l // r) if (l < 0) != (r < 0) else l // r
+        return l - r * quotient
     return ErrorValue(f"unknown arithmetic operator {op}")
 
 

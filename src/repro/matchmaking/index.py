@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..classads import ClassAd, is_true
 from ..classads.ast import AttributeRef, BinaryOp, Expr, Literal
-from ..classads.evaluator import evaluate
+from ..classads.compile import evaluate
 from ..classads.values import is_number, is_string
 from ..obs import metrics as _metrics
 from .match import DEFAULT_POLICY, MatchPolicy

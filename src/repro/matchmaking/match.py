@@ -54,6 +54,10 @@ def constraint_holds(ad: ClassAd, other: ClassAd, policy: MatchPolicy = DEFAULT_
 
     An ad with no constraint attribute imposes no requirements and always
     accepts (an entity that publishes no Constraint is unconstrained).
+
+    Evaluation goes through the closure-compiled path
+    (:mod:`repro.classads.compile`): the Constraint compiles once per ad
+    and every later candidate pairing reuses the cached closure.
     """
     name = policy.constraint_of(ad)
     if name is None:

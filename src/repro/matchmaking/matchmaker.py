@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..classads import ClassAd, is_true
 from ..classads.ast import Literal
+from ..classads.compile import cache_hits_total as _compiled_cache_hits
 from ..obs import event_log as _events, metrics as _metrics, tracer as _tracer
 from .accounting import Accountant
 from .diagnose import attribute_failure
@@ -206,6 +207,7 @@ def negotiation_cycle(
     # log is off — and records clause-level rejection attribution while on.
     emit_events = _events.enabled
     cycle_id = next(_CYCLE_IDS) if emit_events else None
+    base_cache_hits = _compiled_cache_hits() if emit_events else 0
     if emit_events:
         _events.emit(
             "cycle.begin",
@@ -420,6 +422,9 @@ def negotiation_cycle(
             matched=matched,
             rejected=requests_seen - matched,
             preemptions=stats.preemptions - base_preemptions,
+            # Full AST walks avoided this cycle: evaluations served from
+            # the compiled-expression cache (0 when REPRO_NO_COMPILE=1).
+            evals_saved=_compiled_cache_hits() - base_cache_hits,
             duration_s=time.perf_counter() - start,
         )
     return assignments

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Union
 
 from ..classads import ClassAd, Expr, is_true, parse
+from ..classads.compile import compile_expr
 from .match import DEFAULT_POLICY, MatchPolicy, constraint_holds
 
 
@@ -29,12 +30,14 @@ def select(
     """All ads for which *constraint* evaluates to true (ad as ``self``).
 
     Ads for which the constraint is undefined or error are excluded, per
-    the matchmaking rule that only ``true`` matches.
+    the matchmaking rule that only ``true`` matches.  The constraint is
+    compiled once and the closure probes the whole pool.
     """
     expr = parse(constraint) if isinstance(constraint, str) else constraint
+    compiled = compile_expr(expr)
     found: List[ClassAd] = []
     for ad in ads:
-        if is_true(ad.eval_expr(expr)):
+        if is_true(compiled.evaluate(ad)):
             found.append(ad)
             if limit is not None and len(found) >= limit:
                 break

@@ -64,6 +64,11 @@ def verify_claim(
        RA re-evaluates with its up-to-date resource ad and the customer's
        up-to-date request ad, catching anything that changed since the
        stale advertisements matched.
+
+    The re-check runs through the compiled-constraint path
+    (:mod:`repro.classads.compile`): when the ads are unchanged since
+    match time the closures are already cached, and a state update
+    invalidates exactly the rebound attribute's code.
     """
     with _tracer.span("claim") as span:
         if already_claimed:

@@ -180,6 +180,25 @@ class TestLiveNegotiationForensics:
         assert len(made) == 1
         assert made[0].fields["provider"] == "m0"
 
+    def test_cycle_end_reports_evals_saved(self, global_log):
+        from repro.classads import compile as cc
+
+        previous = cc.compilation_enabled()
+        cc.set_compilation(True)
+        try:
+            jobs = [job(1, 'other.Type == "Machine"')]
+            pool = [machine()]
+            negotiation_cycle({"raman": jobs}, pool)
+            first = global_log.last("cycle.end").fields
+            assert "evals_saved" in first
+            # Second cycle over the same ads: the compiled Constraints are
+            # cached, so evaluations are served without walking the ASTs.
+            negotiation_cycle({"raman": jobs}, pool)
+            warm = global_log.last("cycle.end").fields
+            assert warm["evals_saved"] >= 1
+        finally:
+            cc.set_compilation(previous)
+
     def test_disabled_log_sees_nothing(self):
         event_log.reset()
         event_log.disable()
