@@ -88,6 +88,7 @@ __all__ = [
     "evaluate",
     "evaluate_attribute",
     "set_compilation",
+    "structural_key",
 ]
 
 #: Compiler refusal limits: expressions bigger/deeper than this are left
@@ -288,9 +289,23 @@ def _type_sig(expr: Expr) -> tuple:
     return tuple(sig)
 
 
+def structural_key(expr: Expr) -> tuple:
+    """The global memo's key for *expr*: structural equality refined by
+    the literal-type signature.
+
+    Two expressions with equal keys are *behaviourally identical* — they
+    evaluate to identical values in every environment — which is exactly
+    what AST equality alone cannot promise (``Literal(3) == Literal(3.0)``
+    while ``is``/``isInteger`` distinguish them).  The matchmaker's
+    request-batching layer keys its equivalence classes on this, so the
+    guarantee is load-bearing beyond the compile cache.
+    """
+    return (expr, _type_sig(expr))
+
+
 def _memo_compile(expr: Expr) -> Optional[_Compiled]:
     global _stat_compiles
-    key = (expr, _type_sig(expr))
+    key = structural_key(expr)
     compiled = _MEMO.get(key, _MISSING)
     if compiled is not _MISSING:
         return compiled

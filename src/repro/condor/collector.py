@@ -16,7 +16,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional
 
 from ..classads import ClassAd
-from ..matchmaking import select
+from ..matchmaking import MaintainedIndex, select
 from ..obs import event_log as _events, metrics as _metrics
 from ..protocols import AdStore, Advertisement, Withdrawal, validate_ad
 from ..sim import Network, Simulator, Trace
@@ -56,6 +56,10 @@ class Collector:
         self.store = AdStore()
         self.ads_rejected = 0
         self.ads_admitted = 0
+        # Persistent machine index (PR 4): built lazily on the first
+        # negotiator request, then delta-updated by the advertising
+        # traffic instead of being rebuilt from the store every cycle.
+        self._mindex: Optional[MaintainedIndex] = None
         net.register(self.address, self._on_message)
         sim.every(expire_interval, self._expire)
 
@@ -66,6 +70,8 @@ class Collector:
             self._on_advertisement(message)
         elif isinstance(message, Withdrawal):
             self.store.remove(message.name)
+            if self._mindex is not None:
+                self._mindex.withdraw(message.name)
 
     def _on_advertisement(self, message: Advertisement) -> None:
         _COL_RECEIVED.inc()
@@ -80,6 +86,7 @@ class Collector:
                 problems="; ".join(result.problems),
             )
             return
+        had_prior = message.name in self.store
         admitted = self.store.insert(
             message.name,
             message.ad,
@@ -91,6 +98,12 @@ class Collector:
             self.ads_admitted += 1
             _COL_ADMITTED.inc()
             _COL_STORE_SIZE.set(len(self.store))
+            if self._mindex is not None and not self._mindex.advertise(
+                message.name, message.ad, had_prior=had_prior
+            ):
+                # Candidate order not preservable by deltas: drop the
+                # index; the next negotiator cycle rebuilds it lazily.
+                self._mindex = None
         if _events.enabled:
             _events.emit(
                 "ad.arrived",
@@ -104,6 +117,8 @@ class Collector:
         expired = self.store.expire(self.sim.now)
         for name in expired:
             self.trace.emit(self.sim.now, "ad-expired", name=name)
+            if self._mindex is not None:
+                self._mindex.withdraw(name)
         if expired and _metrics.enabled:
             _COL_EXPIRED.inc(len(expired))
             _COL_STORE_SIZE.set(len(self.store))
@@ -112,6 +127,21 @@ class Collector:
 
     def machine_ads(self) -> List[ClassAd]:
         return select(self.store.ads(), 'Type == "Machine"')
+
+    def provider_index(self) -> MaintainedIndex:
+        """The persistent machine index, seeded from the store on first
+        use and delta-maintained by advertise/withdraw/expiry after.
+
+        ``provider_index().providers()`` equals :meth:`machine_ads` (same
+        ads, same order) without re-selecting and re-indexing the store.
+        """
+        mindex = self._mindex
+        if mindex is None:
+            mindex = self._mindex = MaintainedIndex(
+                'Type == "Machine"',
+                items=[(rec.name, rec.ad) for rec in self.store.records()],
+            )
+        return mindex
 
     def job_ads(self) -> List[ClassAd]:
         return select(self.store.ads(), 'Type == "Job"')
@@ -144,6 +174,8 @@ class Collector:
         """Lose all soft state and stop receiving (experiment E1)."""
         self.net.set_down(self.address)
         self.store.clear()
+        if self._mindex is not None:
+            self._mindex.clear()
         self.trace.emit(self.sim.now, "collector-crash")
 
     def recover(self) -> None:

@@ -85,13 +85,20 @@ class Negotiator:
             return []
         start = time.perf_counter()
         self.accountant.advance_to(self.sim.now)
-        providers = self.collector.machine_ads()
+        index: Optional[ProviderIndex] = None
+        if self.use_index:
+            # The collector's persistent index is delta-maintained by the
+            # advertising traffic — no per-cycle select + rebuild.
+            mindex = self.collector.provider_index()
+            providers = mindex.providers()
+            index = mindex.index
+        else:
+            providers = self.collector.machine_ads()
         requests = self.collector.job_ads_by_owner()
         stats = CycleStats()
         with _tracer.span(
             "negotiator_cycle", now=self.sim.now, providers=len(providers)
         ) as span:
-            index = ProviderIndex(providers) if self.use_index else None
             assignments = negotiation_cycle(
                 requests,
                 providers,

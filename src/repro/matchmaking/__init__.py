@@ -43,6 +43,7 @@ from .gangmatch import (
 from .index import (
     DEFAULT_EQUALITY_ATTRS,
     DEFAULT_RANGE_ATTRS,
+    MaintainedIndex,
     Predicate,
     ProviderIndex,
     conjuncts,
@@ -52,14 +53,24 @@ from .match import (
     DEFAULT_POLICY,
     Match,
     MatchPolicy,
+    availability_of,
     best_match,
     constraint_holds,
     constraints_satisfied,
+    current_owner_of,
+    current_rank_of,
     evaluate_rank,
     rank_candidates,
     symmetric_match,
 )
-from .matchmaker import Assignment, CycleStats, Matchmaker, negotiation_cycle
+from .matchmaker import (
+    Assignment,
+    CycleStats,
+    Matchmaker,
+    batching_enabled,
+    negotiation_cycle,
+    set_batching,
+)
 from .query import count_matching, one_way_match, select
 
 __all__ = [
@@ -90,13 +101,19 @@ __all__ = [
     "DEFAULT_POLICY",
     "DEFAULT_RANGE_ATTRS",
     "MINIMUM_PRIORITY",
+    "MaintainedIndex",
     "Match",
     "MatchPolicy",
     "Matchmaker",
     "Predicate",
     "ProviderIndex",
     "SubmitterRecord",
+    "availability_of",
+    "batching_enabled",
     "best_match",
+    "current_owner_of",
+    "current_rank_of",
+    "set_batching",
     "conjuncts",
     "constraint_holds",
     "constraints_satisfied",

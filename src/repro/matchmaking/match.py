@@ -191,3 +191,47 @@ def best_match(
 def symmetric_match(a: ClassAd, b: ClassAd, policy: MatchPolicy = DEFAULT_POLICY) -> bool:
     """Alias for :func:`constraints_satisfied` (paper terminology)."""
     return constraints_satisfied(a, b, policy)
+
+
+# -- provider classification ------------------------------------------------
+#
+# The negotiation cycle reads three facts off every provider ad before any
+# pairing work: its availability class, its advertised CurrentRank, and its
+# current occupant.  They live here (rather than in matchmaker.py) because
+# they are properties of one ad under the match policy, not of the cycle —
+# and the batched engine memoizes them once per provider per cycle.
+
+
+def availability_of(provider: ClassAd) -> str:
+    """Classify a provider: "available", "preemptable", or "unavailable".
+
+    Providers that do not advertise State are assumed available — the
+    matchmaker works with whatever schema the ads actually use
+    (semi-structured model: no schema is *required*).  Only Claimed
+    providers are preemption candidates; an Owner-state machine is its
+    owner's and is skipped outright.
+    """
+    state = provider.evaluate("State")
+    if not isinstance(state, str):
+        return "available"
+    lowered = state.lower()
+    if lowered in ("unclaimed", "available", "idle"):
+        return "available"
+    if lowered == "claimed":
+        return "preemptable"
+    return "unavailable"
+
+
+def current_rank_of(provider: ClassAd) -> float:
+    """The provider's advertised rank of its current occupant.
+
+    Condor startds advertise ``CurrentRank`` while claimed so the
+    negotiator can decide preemption without the occupant's ad.
+    """
+    return rank_value(provider.evaluate("CurrentRank"))
+
+
+def current_owner_of(provider: ClassAd) -> Optional[str]:
+    """The submitter currently occupying the provider, if advertised."""
+    owner = provider.evaluate("RemoteOwner")
+    return owner if isinstance(owner, str) else None

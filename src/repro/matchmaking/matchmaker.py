@@ -17,32 +17,50 @@ Two layers live here:
   "negotiation cycle": serve submitters in fair-share order, pick the
   best-ranked compatible resource for each request, honouring
   Rank-driven preemption.
+
+Since PR 4 the cycle is *batched*: the paper's Section 5 observation
+that ad lists "exhibit a high degree of regularity" holds for requests
+too — a submitter's queue is typically thousands of jobs with a handful
+of distinct Requirements/Rank combinations.  The cycle groups requests
+into behavioural equivalence classes (see :func:`_request_signature`),
+evaluates constraints and ranks once per (class, provider), and lets
+class members consume the shared ranked candidate list under the
+per-cycle ``taken`` set.  The batched cycle is assignment-identical to
+the naive scan — same matches, same preemptions, same tie-breaks, and
+(with the event log on) the same forensic event stream, replayed per
+member from the per-class dispositions.  ``REPRO_NO_BATCH=1`` or
+:func:`set_batching` falls back to the naive reference path, mirroring
+PR 3's ``REPRO_NO_COMPILE`` switch.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..classads import ClassAd, is_true
-from ..classads.ast import Literal
-from ..classads.compile import cache_hits_total as _compiled_cache_hits
+from ..classads import ClassAd
+from ..classads.ast import Expr, Literal, external_references
+from ..classads.compile import cache_hits_total as _compiled_cache_hits, structural_key
 from ..obs import event_log as _events, metrics as _metrics, tracer as _tracer
 from .accounting import Accountant
 from .diagnose import attribute_failure
-from .index import ProviderIndex
+from .index import MaintainedIndex, ProviderIndex
 from .match import (
     DEFAULT_POLICY,
     Match,
     MatchPolicy,
+    availability_of,
     best_match,
     constraints_satisfied,
+    current_owner_of,
+    current_rank_of,
     evaluate_rank,
     rank_candidates,
 )
-from .query import one_way_match, select
+from .query import select
 
 # Observability: the hot loop accumulates into the (pre-existing, local)
 # CycleStats and the global counters are bumped once per cycle, so an
@@ -60,6 +78,9 @@ _MM_PREEMPTIONS = _metrics.counter(
 _MM_PRUNED = _metrics.counter(
     "matchmaker.index_pruned", "constraint evaluations saved by index pre-filtering"
 )
+_MM_CLASSES = _metrics.counter(
+    "matchmaker.request_classes", "request equivalence classes built per cycle"
+)
 _MM_CYCLE_SECONDS = _metrics.histogram(
     "matchmaker.cycle_seconds", "wall-clock duration of one negotiation cycle"
 )
@@ -68,6 +89,24 @@ _MM_CYCLE_SECONDS = _metrics.histogram(
 #: every ``cycle.*``/``match.*`` event carries one of these so post-mortem
 #: queries can group a run's events by cycle.
 _CYCLE_IDS = itertools.count(1)
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+_BATCH_ENABLED = not _env_flag("REPRO_NO_BATCH")
+
+
+def batching_enabled() -> bool:
+    """Whether request batching is active (see ``REPRO_NO_BATCH``)."""
+    return _BATCH_ENABLED
+
+
+def set_batching(enabled: bool) -> None:
+    """Programmatic kill-switch (benchmarks and tests toggle this)."""
+    global _BATCH_ENABLED
+    _BATCH_ENABLED = bool(enabled)
 
 
 def _identity_field(ad: ClassAd, name: str):
@@ -119,42 +158,143 @@ class CycleStats:
     matched: int = 0
     preemptions: int = 0
     constraint_evaluations_saved: int = 0  # by index pre-filtering
+    request_classes: int = 0  # equivalence classes built (0 on the naive path)
+    pairings_saved: int = 0  # (request, provider) pairings served from a class
 
 
-def _availability(provider: ClassAd) -> str:
-    """Classify a provider: "available", "preemptable", or "unavailable".
+# Backwards-compatible aliases: these classification helpers moved to
+# .match in PR 4 so the batched engine and the naive reference path share
+# one definition.
+_availability = availability_of
+_current_rank = current_rank_of
+_current_owner = current_owner_of
 
-    Providers that do not advertise State are assumed available — the
-    matchmaker works with whatever schema the ads actually use
-    (semi-structured model: no schema is *required*).  Only Claimed
-    providers are preemption candidates; an Owner-state machine is its
-    owner's and is skipped outright.
+
+# -- request equivalence ------------------------------------------------------
+#
+# Two requests are behaviourally interchangeable inside a cycle when every
+# expression the matching algorithm can possibly evaluate against them is
+# structurally identical (refined by literal types — the compile module's
+# memo key).  That covers (a) the request's own Constraint and Rank plus
+# every self/bare attribute they transitively read, and (b) every request
+# attribute some provider in the pool reads through ``other.`` (or a bare
+# name the provider doesn't define itself) — providers constrain customers
+# too, so the signature must close over what the *pool* observes, not just
+# what the request mentions.
+
+_REFS_MEMO: Dict[Expr, frozenset] = {}
+_REFS_LIMIT = 2048
+
+
+def _expr_refs(expr: Expr) -> frozenset:
+    """Memoized :func:`external_references`.
+
+    Keyed structurally: equal ASTs reference equal attribute sets even
+    when their literal *types* differ, so the conflation that forces
+    ``structural_key`` to carry a type signature is harmless here.
     """
-    state = provider.evaluate("State")
-    if not isinstance(state, str):
-        return "available"
-    lowered = state.lower()
-    if lowered in ("unclaimed", "available", "idle"):
-        return "available"
-    if lowered == "claimed":
-        return "preemptable"
-    return "unavailable"
+    refs = _REFS_MEMO.get(expr)
+    if refs is None:
+        if len(_REFS_MEMO) >= _REFS_LIMIT:
+            _REFS_MEMO.clear()
+        refs = frozenset(external_references(expr))
+        _REFS_MEMO[expr] = refs
+    return refs
 
 
-def _current_rank(provider: ClassAd) -> float:
-    """The provider's advertised rank of its current occupant.
+def _provider_observed_attrs(provider: ClassAd, policy: MatchPolicy) -> Set[str]:
+    """Request attributes this provider's Constraint/Rank can read.
 
-    Condor startds advertise ``CurrentRank`` while claimed so the
-    negotiator can decide preemption without the occupant's ad.
+    Transitive: a Constraint referencing the provider's own ``MyPolicy``
+    attribute observes whatever *that* expression reads.  ``other.X``
+    always reads the request; a bare ``X`` only falls through to the
+    request when the provider does not define it.
     """
-    from ..classads import rank_value
+    observed: Set[str] = set()
+    seen: Set[str] = set()
+    stack: List[Expr] = []
+    cname = policy.constraint_of(provider)
+    if cname is not None:
+        stack.append(provider.lookup(cname))
+    rank_expr = provider.lookup(policy.rank_attr)
+    if rank_expr is not None:
+        stack.append(rank_expr)
+    while stack:
+        expr = stack.pop()
+        for scope, name in _expr_refs(expr):
+            if scope == "other":
+                observed.add(name)
+            elif scope == "self" or name in provider:
+                if name not in seen:
+                    seen.add(name)
+                    sub = provider.lookup(name)
+                    if sub is not None:
+                        stack.append(sub)
+            else:
+                observed.add(name)
+    return observed
 
-    return rank_value(provider.evaluate("CurrentRank"))
+
+def _pool_observed_attrs(providers: Sequence[ClassAd], policy: MatchPolicy) -> Set[str]:
+    """Union of request attributes any provider in the pool can read."""
+    observed: Set[str] = set()
+    for provider in providers:
+        observed |= _provider_observed_attrs(provider, policy)
+    return observed
 
 
-def _current_owner(provider: ClassAd) -> Optional[str]:
-    owner = provider.evaluate("RemoteOwner")
-    return owner if isinstance(owner, str) else None
+def _request_signature(
+    request: ClassAd, policy: MatchPolicy, observed: Set[str]
+) -> Tuple:
+    """The equivalence-class key for *request* against this cycle's pool.
+
+    Maps every attribute the cycle can evaluate on the request — its
+    Constraint/Rank, their transitive self/bare references, and the
+    pool-observed attributes — to its expression's ``structural_key``
+    (None when absent; absence is behaviour too: it evaluates to
+    ``undefined``).  Equal signatures imply identical constraint, rank,
+    and provider-side evaluations against every provider, hence
+    identical candidate lists.
+    """
+    cname = policy.constraint_of(request)
+    visited: Dict[str, Optional[Tuple]] = {}
+    stack: List[str] = [policy.rank_attr.lower()]
+    if cname is not None:
+        stack.append(cname.lower())
+    stack.extend(observed)
+    while stack:
+        name = stack.pop()
+        if name in visited:
+            continue
+        expr = request.lookup(name)
+        if expr is None:
+            visited[name] = None
+            continue
+        visited[name] = structural_key(expr)
+        for scope, ref in _expr_refs(expr):
+            if scope != "other":
+                stack.append(ref)
+    return (None if cname is None else cname.lower(), frozenset(visited.items()))
+
+
+class _ClassState:
+    """Shared per-cycle state of one request equivalence class."""
+
+    __slots__ = ("pool", "cands", "head", "dispositions", "members")
+
+    def __init__(self, pool, cands, dispositions):
+        self.pool = pool
+        #: Viable candidates as (customer_rank, provider_rank, -pos,
+        #: provider, preempts) tuples, best first.  ``-pos`` is unique
+        #: within the pool, so sorting never compares the ad objects and
+        #: the order equals the naive max()'s preference order.
+        self.cands = cands
+        self.head = 0  # first candidate not yet known to be taken
+        #: Per pool position: None for viable candidates, else the
+        #: reject reason replayed into the event log for each member.
+        #: Only built while the event log is enabled.
+        self.dispositions = dispositions
+        self.members = 0  # match attempts served from this class
 
 
 def negotiation_cycle(
@@ -165,6 +305,7 @@ def negotiation_cycle(
     allow_preemption: bool = True,
     index: Optional[ProviderIndex] = None,
     stats: Optional[CycleStats] = None,
+    batch: Optional[bool] = None,
 ) -> List[Assignment]:
     """Run one negotiation cycle and return the assignments.
 
@@ -185,6 +326,11 @@ def negotiation_cycle(
     ``CurrentRank`` — Section 4's "it is still interested in hearing
     from higher priority customers".
 
+    ``batch`` overrides the module-level batching switch for this cycle
+    (None follows :func:`batching_enabled`).  Batched and naive cycles
+    produce identical assignments; the batched one evaluates each
+    distinct (class, provider) pairing once.
+
     The cycle only *identifies* matches; claiming is the parties' own
     business (separation of matching and claiming).
     """
@@ -196,6 +342,9 @@ def negotiation_cycle(
     base_matched = stats.matched
     base_preemptions = stats.preemptions
     base_pruned = stats.constraint_evaluations_saved
+    base_classes = stats.request_classes
+    base_pairings = stats.pairings_saved
+    use_batch = _BATCH_ENABLED if batch is None else bool(batch)
     submitters = list(requests_by_submitter.keys())
     if accountant is not None:
         submitters = accountant.negotiation_order(submitters)
@@ -215,18 +364,56 @@ def negotiation_cycle(
             submitters=len(submitters),
             providers=len(providers),
             indexed=index is not None,
+            batched=use_batch,
         )
 
     taken: set = set()  # ids of providers already matched this cycle
     assignments: List[Assignment] = []
+
+    # Per-cycle provider memo: availability, preempting occupant, and
+    # CurrentRank are facts of the ad, not of the pairing — compute each
+    # once per provider per cycle instead of once per (request, provider).
+    provider_states: Dict[int, Tuple[str, Optional[str], float]] = {}
+
+    def _provider_state(provider: ClassAd) -> Tuple[str, Optional[str], float]:
+        key = id(provider)
+        state = provider_states.get(key)
+        if state is None:
+            avail = availability_of(provider)
+            if avail == "preemptable":
+                state = (avail, current_owner_of(provider) or "<unknown>", current_rank_of(provider))
+            else:
+                state = (avail, None, 0.0)
+            provider_states[key] = state
+        return state
+
+    # Identity fields recur on every rejection event — a busy cycle emits
+    # thousands of rejects, each naming the same few ads — so the ClassAd
+    # lookups behind them are memoized per cycle like the provider state.
+    provider_names: Dict[int, object] = {}
+    job_identities: Dict[int, Dict[str, object]] = {}
+
+    def _name_of(provider: ClassAd):
+        key = id(provider)
+        name = provider_names.get(key)
+        if name is None:
+            name = provider_names[key] = _provider_name(provider)
+        return name
+
+    def _identity_of(request: ClassAd) -> Dict[str, object]:
+        key = id(request)
+        ident = job_identities.get(key)
+        if ident is None:
+            ident = job_identities[key] = _job_identity(request)
+        return ident
 
     def emit_reject(submitter: str, request: ClassAd, provider: ClassAd, **fields) -> None:
         _events.emit(
             "match.reject",
             cycle=cycle_id,
             submitter=submitter,
-            provider=_provider_name(provider),
-            **_job_identity(request),
+            provider=_name_of(provider),
+            **_identity_of(request),
             **fields,
         )
 
@@ -246,13 +433,52 @@ def negotiation_cycle(
                 fields["undefined"] = list(attribution.undefined_attrs)
         emit_reject(submitter, request, provider, **fields)
 
-    def try_match(submitter: str, request: ClassAd) -> bool:
-        with _tracer.span("try_match", submitter=submitter) as span:
-            matched = _try_match(submitter, request)
-            span.annotate(matched=matched)
-            return matched
+    def emit_match(submitter: str, request: ClassAd, provider: ClassAd,
+                   customer_rank: float, provider_rank: float,
+                   preempts: Optional[str]) -> None:
+        _events.emit(
+            "match.made",
+            cycle=cycle_id,
+            submitter=submitter,
+            provider=_name_of(provider),
+            customer_rank=customer_rank,
+            provider_rank=provider_rank,
+            preempts=preempts,
+            **_identity_of(request),
+        )
+        if preempts is not None:
+            _events.emit(
+                "preemption",
+                cycle=cycle_id,
+                submitter=submitter,
+                provider=_name_of(provider),
+                evicted=preempts,
+                **_identity_of(request),
+            )
 
-    def _try_match(submitter: str, request: ClassAd) -> bool:
+    def _commit(submitter: str, request: ClassAd, provider: ClassAd,
+                customer_rank: float, provider_rank: float,
+                preempts: Optional[str]) -> None:
+        taken.add(id(provider))
+        assignments.append(
+            Assignment(
+                submitter=submitter,
+                request=request,
+                provider=provider,
+                customer_rank=customer_rank,
+                provider_rank=provider_rank,
+                preempts=preempts,
+            )
+        )
+        stats.matched += 1
+        if preempts is not None:
+            stats.preemptions += 1
+        if emit_events:
+            emit_match(submitter, request, provider, customer_rank, provider_rank, preempts)
+
+    # -- naive reference path ---------------------------------------------
+
+    def _naive_try_match(submitter: str, request: ClassAd) -> bool:
         stats.requests_considered += 1
         if index is not None:
             pool = index.candidates_for(request, policy)
@@ -265,12 +491,12 @@ def negotiation_cycle(
                 if emit_events:
                     emit_reject(submitter, request, provider, reason="taken")
                 continue
-            preempts: Optional[str] = None
-            availability = _availability(provider)
+            availability, owner, current = _provider_state(provider)
             if availability == "unavailable":
                 if emit_events:
                     emit_reject(submitter, request, provider, reason="unavailable")
                 continue
+            preempts: Optional[str] = None
             if availability == "preemptable":
                 if not allow_preemption:
                     if emit_events:
@@ -278,13 +504,13 @@ def negotiation_cycle(
                             submitter, request, provider, reason="preemption-disabled"
                         )
                     continue
-                preempts = _current_owner(provider) or "<unknown>"
+                preempts = owner
             if not constraints_satisfied(request, provider, policy):
                 if emit_events:
                     emit_constraint_reject(submitter, request, provider)
                 continue
             provider_rank = evaluate_rank(provider, request, policy)
-            if preempts is not None and provider_rank <= _current_rank(provider):
+            if preempts is not None and provider_rank <= current:
                 if emit_events:
                     emit_reject(
                         submitter,
@@ -292,7 +518,7 @@ def negotiation_cycle(
                         provider,
                         reason="rank-not-above-current",
                         provider_rank=provider_rank,
-                        current_rank=_current_rank(provider),
+                        current_rank=current,
                     )
                 continue  # not strictly preferred: no preemption
             candidate = Match(
@@ -311,55 +537,151 @@ def negotiation_cycle(
                     cycle=cycle_id,
                     submitter=submitter,
                     candidates=len(pool),
-                    **_job_identity(request),
+                    **_identity_of(request),
                 )
             return False
         match, preempts = chosen
-        taken.add(id(match.provider))
-        assignments.append(
-            Assignment(
-                submitter=submitter,
-                request=request,
-                provider=match.provider,
-                customer_rank=match.customer_rank,
-                provider_rank=match.provider_rank,
-                preempts=preempts,
-            )
+        _commit(
+            submitter, request, match.provider,
+            match.customer_rank, match.provider_rank, preempts,
         )
-        stats.matched += 1
-        if preempts is not None:
-            stats.preemptions += 1
-        if emit_events:
-            _events.emit(
-                "match.made",
-                cycle=cycle_id,
-                submitter=submitter,
-                provider=_provider_name(match.provider),
-                customer_rank=match.customer_rank,
-                provider_rank=match.provider_rank,
-                preempts=preempts,
-                **_job_identity(request),
-            )
-            if preempts is not None:
-                _events.emit(
-                    "preemption",
-                    cycle=cycle_id,
-                    submitter=submitter,
-                    provider=_provider_name(match.provider),
-                    evicted=preempts,
-                    **_job_identity(request),
-                )
         return True
 
+    # -- batched path ------------------------------------------------------
+
+    observed_attrs: Optional[Set[str]] = None
+    classes: Dict[Tuple, _ClassState] = {}
+    signatures: Dict[int, Tuple] = {}  # id(request) -> signature, this cycle
+
+    def _build_class(rep: ClassAd) -> _ClassState:
+        """Evaluate every (class, provider) pairing once, exactly in the
+        naive path's check order, and record the outcome."""
+        if index is not None:
+            pool = index.candidates_for(rep, policy)
+        else:
+            pool = providers
+        cands: List[Tuple] = []
+        dispositions: Optional[List[Optional[Tuple]]] = (
+            [None] * len(pool) if emit_events else None
+        )
+        for pid, provider in enumerate(pool):
+            availability, owner, current = _provider_state(provider)
+            if availability == "unavailable":
+                if emit_events:
+                    dispositions[pid] = ("unavailable",)
+                continue
+            preempts: Optional[str] = None
+            if availability == "preemptable":
+                if not allow_preemption:
+                    if emit_events:
+                        dispositions[pid] = ("preemption-disabled",)
+                    continue
+                preempts = owner
+            if not constraints_satisfied(rep, provider, policy):
+                if emit_events:
+                    dispositions[pid] = ("constraint",)
+                continue
+            provider_rank = evaluate_rank(provider, rep, policy)
+            if preempts is not None and provider_rank <= current:
+                if emit_events:
+                    dispositions[pid] = ("rank", provider_rank, current)
+                continue
+            cands.append(
+                (evaluate_rank(rep, provider, policy), provider_rank, -pid, provider, preempts)
+            )
+        cands.sort(reverse=True)
+        return _ClassState(pool, cands, dispositions)
+
+    def _replay(submitter: str, request: ClassAd, state: _ClassState) -> None:
+        """Reproduce the naive event stream for one member from the class
+        dispositions plus the current ``taken`` set (checked first, as
+        the naive scan does)."""
+        dispositions = state.dispositions
+        for pid, provider in enumerate(state.pool):
+            if id(provider) in taken:
+                emit_reject(submitter, request, provider, reason="taken")
+                continue
+            d = dispositions[pid]
+            if d is None:
+                continue
+            reason = d[0]
+            if reason == "constraint":
+                emit_constraint_reject(submitter, request, provider)
+            elif reason == "rank":
+                emit_reject(
+                    submitter,
+                    request,
+                    provider,
+                    reason="rank-not-above-current",
+                    provider_rank=d[1],
+                    current_rank=d[2],
+                )
+            else:
+                emit_reject(submitter, request, provider, reason=reason)
+
+    def _batched_try_match(submitter: str, request: ClassAd) -> bool:
+        nonlocal observed_attrs
+        stats.requests_considered += 1
+        if observed_attrs is None:
+            observed_attrs = _pool_observed_attrs(providers, policy)
+        key = id(request)
+        sig = signatures.get(key)
+        if sig is None:
+            sig = signatures[key] = _request_signature(request, policy, observed_attrs)
+        state = classes.get(sig)
+        if state is None:
+            state = classes[sig] = _build_class(request)
+            stats.request_classes += 1
+        else:
+            stats.pairings_saved += len(state.pool)
+        state.members += 1
+        if index is not None:
+            stats.constraint_evaluations_saved += len(providers) - len(state.pool)
+        cands = state.cands
+        head = state.head
+        while head < len(cands) and id(cands[head][3]) in taken:
+            head += 1
+        state.head = head
+        winner = cands[head] if head < len(cands) else None
+        if emit_events:
+            _replay(submitter, request, state)
+        if winner is None:
+            if emit_events:
+                _events.emit(
+                    "job.unmatched",
+                    cycle=cycle_id,
+                    submitter=submitter,
+                    candidates=len(state.pool),
+                    **_identity_of(request),
+                )
+            return False
+        customer_rank, provider_rank, _negpid, provider, preempts = winner
+        _commit(submitter, request, provider, customer_rank, provider_rank, preempts)
+        return True
+
+    _try_match = _batched_try_match if use_batch else _naive_try_match
+
+    def try_match(submitter: str, request: ClassAd) -> bool:
+        with _tracer.span("try_match", submitter=submitter) as span:
+            matched = _try_match(submitter, request)
+            span.annotate(matched=matched)
+            return matched
+
     # Pie slices: cap the first round at each submitter's fair share of
-    # the currently matchable capacity.
+    # the currently matchable capacity.  Rounding each share up to at
+    # least one match can over-commit the pie with many low-share
+    # submitters, so the quotas are additionally capped to never exceed
+    # the matchable capacity in total: later (lower-priority) submitters
+    # absorb the shortfall and are served from the spin-pie round.
     quotas: Dict[str, int] = {}
     if accountant is not None and len(submitters) > 1:
-        matchable = sum(1 for p in providers if _availability(p) != "unavailable")
+        matchable = sum(1 for p in providers if _provider_state(p)[0] != "unavailable")
         shares = accountant.fair_shares(submitters)
-        quotas = {
-            s: max(1, int(round(shares[s] * matchable))) for s in submitters
-        }
+        capacity = matchable
+        for s in submitters:
+            quota = min(max(1, int(round(shares[s] * matchable))), capacity)
+            quotas[s] = quota
+            capacity -= quota
         if emit_events:
             for position, s in enumerate(submitters):
                 _events.emit(
@@ -411,6 +733,7 @@ def negotiation_cycle(
         _MM_REJECTED.inc(requests_seen - matched)
         _MM_PREEMPTIONS.inc(stats.preemptions - base_preemptions)
         _MM_PRUNED.inc(stats.constraint_evaluations_saved - base_pruned)
+        _MM_CLASSES.inc(stats.request_classes - base_classes)
         _MM_CYCLE_SECONDS.observe(time.perf_counter() - start)
     if emit_events:
         requests_seen = stats.requests_considered - base_requests
@@ -425,6 +748,11 @@ def negotiation_cycle(
             # Full AST walks avoided this cycle: evaluations served from
             # the compiled-expression cache (0 when REPRO_NO_COMPILE=1).
             evals_saved=_compiled_cache_hits() - base_cache_hits,
+            # Request-batching yield: classes built and (request, provider)
+            # pairings served from a shared class instead of re-evaluated
+            # (both 0 on the naive path).
+            request_classes=stats.request_classes - base_classes,
+            pairings_saved=stats.pairings_saved - base_pairings,
             duration_s=time.perf_counter() - start,
         )
     return assignments
@@ -441,32 +769,50 @@ class Matchmaker:
     No match state is retained: ``match`` and ``negotiate`` compute from
     the current ads and return; claiming is end-to-end between the
     matched parties.
+
+    Since PR 4 the provider index used by ``negotiate(use_index=True)``
+    is *persistent*: a :class:`MaintainedIndex` hangs off the matchmaker
+    and is delta-updated by ``advertise``/``withdraw`` instead of being
+    rebuilt from the ad collection every cycle.  Note one contract this
+    sharpens: an ad must be **re-advertised after mutation** for the
+    index to observe the change (which the advertising protocol does
+    anyway — soft state is refreshed, not edited in place).
     """
 
     def __init__(self, policy: MatchPolicy = DEFAULT_POLICY):
         self.policy = policy
         self._ads: Dict[str, ClassAd] = {}
+        self._mindex: Optional[MaintainedIndex] = None
 
     # -- advertising side -------------------------------------------------
 
     def advertise(self, name: str, ad: ClassAd) -> None:
         """Insert or refresh the ad advertised under *name*."""
+        mindex = self._mindex
+        if mindex is not None:
+            if not mindex.advertise(name, ad, had_prior=name in self._ads):
+                # Candidate order can no longer be preserved by deltas;
+                # drop the index and rebuild lazily on the next negotiate.
+                self._mindex = None
         self._ads[name] = ad
 
     def withdraw(self, name: str) -> None:
         """Remove an ad; absent names are ignored (idempotent)."""
+        if self._mindex is not None:
+            self._mindex.withdraw(name)
         self._ads.pop(name, None)
 
     def clear(self) -> None:
         """Forget everything — simulates a matchmaker crash/restart."""
         self._ads.clear()
+        if self._mindex is not None:
+            self._mindex.clear()
 
     def ads(self, constraint: Optional[str] = None) -> List[ClassAd]:
         """All ads, optionally filtered by a one-way constraint."""
-        ads = list(self._ads.values())
         if constraint is None:
-            return ads
-        return select(ads, constraint)
+            return list(self._ads.values())
+        return select(self._ads.values(), constraint)
 
     def __len__(self) -> int:
         return len(self._ads)
@@ -489,6 +835,16 @@ class Matchmaker:
         """One-way matching over the stored ads (status tools)."""
         return select(self.ads(), constraint)
 
+    def provider_index(self, constraint: str = 'Type == "Machine"') -> MaintainedIndex:
+        """The persistent provider index for *constraint*, built lazily
+        and kept current by ``advertise``/``withdraw`` thereafter."""
+        mindex = self._mindex
+        if mindex is None or mindex.constraint_source != constraint:
+            mindex = self._mindex = MaintainedIndex(
+                constraint, items=self._ads.items()
+            )
+        return mindex
+
     def negotiate(
         self,
         requests_by_submitter: Mapping[str, Sequence[ClassAd]],
@@ -499,8 +855,13 @@ class Matchmaker:
         stats: Optional[CycleStats] = None,
     ) -> List[Assignment]:
         """One negotiation cycle over the stored provider ads."""
-        providers = self.ads(provider_constraint)
-        index = ProviderIndex(providers) if use_index else None
+        if use_index:
+            mindex = self.provider_index(provider_constraint)
+            providers: Sequence[ClassAd] = mindex.providers()
+            index: Optional[ProviderIndex] = mindex.index
+        else:
+            providers = self.ads(provider_constraint)
+            index = None
         return negotiation_cycle(
             requests_by_submitter,
             providers,

@@ -21,6 +21,27 @@ from ..classads import ClassAd, Expr, is_true, parse
 from ..classads.compile import compile_expr
 from .match import DEFAULT_POLICY, MatchPolicy, constraint_holds
 
+# String constraints recur verbatim — every negotiate() re-selects with
+# 'Type == "Machine"', status tools poll with a fixed query — so the
+# parse for a string source is memoized (compilation itself is served by
+# the compile module's structural memo, which also keeps the
+# REPRO_NO_COMPILE toggle live).  Bounded like that memo; a workload
+# cycling through thousands of distinct query strings just loses the
+# shortcut, never correctness.
+_PARSED_STRINGS: dict = {}
+_PARSED_STRINGS_LIMIT = 512
+
+
+def _parsed(constraint: Union[str, Expr]) -> Expr:
+    if not isinstance(constraint, str):
+        return constraint
+    expr = _PARSED_STRINGS.get(constraint)
+    if expr is None:
+        if len(_PARSED_STRINGS) >= _PARSED_STRINGS_LIMIT:
+            _PARSED_STRINGS.clear()
+        expr = _PARSED_STRINGS[constraint] = parse(constraint)
+    return expr
+
 
 def select(
     ads: Iterable[ClassAd],
@@ -31,10 +52,10 @@ def select(
 
     Ads for which the constraint is undefined or error are excluded, per
     the matchmaking rule that only ``true`` matches.  The constraint is
-    compiled once and the closure probes the whole pool.
+    compiled once per distinct source (memoized) and the closure probes
+    the whole pool.
     """
-    expr = parse(constraint) if isinstance(constraint, str) else constraint
-    compiled = compile_expr(expr)
+    compiled = compile_expr(_parsed(constraint))
     found: List[ClassAd] = []
     for ad in ads:
         if is_true(compiled.evaluate(ad)):
