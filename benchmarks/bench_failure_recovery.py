@@ -4,9 +4,25 @@ Crashes the central manager mid-run and regenerates the recovery table:
 how long until the ad store is repopulated and matching resumes, as a
 function of the advertising interval (the only recovery mechanism that
 exists is periodic re-advertisement).
+
+Run as a script for the CI smoke benchmark::
+
+    python benchmarks/bench_failure_recovery.py --smoke [--out DIR]
+
+which executes a reduced sweep without pytest and writes
+``BENCH_E1_failure_recovery.json``.
 """
 
+import argparse
+import os
+import sys
 import time
+
+if __name__ == "__main__":
+    # Allow `python benchmarks/bench_failure_recovery.py` from a bare checkout.
+    _src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    if os.path.isdir(_src) and os.path.abspath(_src) not in map(os.path.abspath, sys.path):
+        sys.path.insert(0, os.path.abspath(_src))
 
 from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
 
@@ -17,8 +33,8 @@ OUTAGE = 600.0
 N_MACHINES = 50
 
 
-def run_crash(advertise_interval):
-    specs = [MachineSpec(name=f"m{i}") for i in range(N_MACHINES)]
+def run_crash(advertise_interval, n_machines=N_MACHINES, n_jobs=100, spacing=10.0):
+    specs = [MachineSpec(name=f"m{i}") for i in range(n_machines)]
     pool = CondorPool(
         specs,
         PoolConfig(
@@ -29,8 +45,8 @@ def run_crash(advertise_interval):
         ),
     )
     # A steady trickle of work so matching is observable before and after.
-    for i in range(100):
-        pool.submit(Job(owner="alice", total_work=600.0), at=10.0 * i)
+    for i in range(n_jobs):
+        pool.submit(Job(owner="alice", total_work=600.0), at=spacing * i)
     pool.crash_central_manager(at=CRASH_AT, duration=OUTAGE)
     pool.run_until(CRASH_AT + OUTAGE + 20 * advertise_interval)
 
@@ -39,7 +55,7 @@ def run_crash(advertise_interval):
     # per-cycle trace (each negotiation-cycle event records the store size).
     store_full_at = None
     for event in pool.trace.of_kind("negotiation-cycle"):
-        if event.time > recover_time and event.fields["machines"] >= N_MACHINES:
+        if event.time > recover_time and event.fields["machines"] >= n_machines:
             store_full_at = event.time
             break
     first_match_after = None
@@ -108,3 +124,69 @@ def test_running_claims_survive_outage(benchmark):
         return crash.time < done.time < recover.time
 
     assert benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def run_smoke(out_dir=None, n_machines=20, n_jobs=40):
+    """The CI smoke variant: a reduced interval sweep, same invariants.
+
+    Returns the written BENCH_*.json path."""
+    start = time.perf_counter()
+    # Arrivals stretch past the outage so matching demonstrably resumes.
+    results = [
+        run_crash(interval, n_machines=n_machines, n_jobs=n_jobs, spacing=50.0)
+        for interval in (60.0, 120.0)
+    ]
+    wall = time.perf_counter() - start
+    rows = [
+        (
+            f"{r['interval']:.0f}s",
+            f"{r['store_full_after']:.0f}s" if r["store_full_after"] else "-",
+            f"{r['first_match_after']:.0f}s" if r["first_match_after"] else "-",
+            r["completed"],
+        )
+        for r in results
+    ]
+    report = table(
+        [
+            "advertise interval",
+            "ad store repopulated after",
+            "matching resumed after",
+            "jobs completed",
+        ],
+        rows,
+    )
+    write_report("E1_failure_recovery", report, out_dir=out_dir)
+    for r in results:
+        assert r["store_full_after"] is not None, r
+        assert r["store_full_after"] <= r["interval"] + 120.0, r
+        assert r["first_match_after"] is not None, r
+        assert r["completed"] == n_jobs, r
+    worst = max(r["store_full_after"] for r in results)
+    return write_bench_json(
+        "E1_failure_recovery",
+        wall_time_s=wall,
+        throughput={"worst_store_repopulation_s": worst},
+        data=results,
+        out_dir=out_dir,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run the reduced CI smoke sweep"
+    )
+    parser.add_argument(
+        "--out", default=None, help="results directory (default: benchmarks/results)"
+    )
+    parser.add_argument("--machines", type=int, default=20)
+    parser.add_argument("--jobs", type=int, default=40)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("only --smoke mode is supported as a script; use pytest otherwise")
+    run_smoke(out_dir=args.out, n_machines=args.machines, n_jobs=args.jobs)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

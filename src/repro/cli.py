@@ -395,6 +395,15 @@ def cmd_obs_why(args) -> int:
     return 0 if matches else 1
 
 
+def cmd_obs_check(args) -> int:
+    """Audit a recorded run against the protocol invariants."""
+    from .obs.invariants import check_events
+
+    report = check_events(_load_events(args.file), require_complete=args.require_complete)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_obs_tail(args) -> int:
     events = _load_events(args.file)
     if args.kind:
@@ -416,6 +425,76 @@ def cmd_obs_export(args) -> int:
     else:
         print(text)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# the `chaos` command: run a pool under a fault-injection profile
+
+
+def cmd_chaos(args) -> int:
+    """Run a small pool under a chaos profile; exit 0 iff every job
+    completed (the liveness half of the robustness claim)."""
+    import dataclasses
+
+    from . import obs
+    from .condor import CondorPool, Job, MachineSpec, PoolConfig
+    from .protocols import set_retries
+    from .sim.chaos import chaos_profile
+
+    plan = chaos_profile(args.profile, horizon=args.horizon)
+    if args.seed is not None:
+        plan = dataclasses.replace(plan, seed=args.seed)
+
+    obs.enable(events=True)
+    if args.out:
+        obs.event_log.open_file(args.out)
+    if args.no_retry:
+        set_retries(False)
+    try:
+        specs = [
+            MachineSpec(name=f"m{i}", mips=100.0 + 50.0 * (i % 3))
+            for i in range(args.machines)
+        ]
+        pool = CondorPool(
+            specs,
+            config=PoolConfig(
+                seed=plan.seed,
+                advertise_interval=60.0,
+                negotiation_interval=60.0,
+                chaos=plan,
+                chaos_horizon=args.horizon,
+            ),
+        )
+        jobs = [
+            Job(
+                job_id=j,
+                owner="alice" if j % 2 == 0 else "bob",
+                total_work=600.0 + 60.0 * (j % 5),
+            )
+            for j in range(args.jobs)
+        ]
+        pool.submit_all(jobs, arrival_times=[5.0 * j for j in range(len(jobs))])
+        finished_at = pool.run_until_quiescent(
+            check_interval=60.0, max_time=8.0 * args.horizon
+        )
+        done = len(pool.completed_jobs())
+        stats = pool.net.stats
+        print(f"profile   : {plan.name} (seed {plan.seed})")
+        print(f"jobs      : {done}/{len(jobs)} completed at t={finished_at:.0f}")
+        print(
+            "network   : "
+            f"{stats.delivered} delivered, {stats.dropped_loss} lost, "
+            f"{stats.dropped_partition} partitioned, {stats.duplicated} duplicated, "
+            f"{stats.dropped_down} to-down"
+        )
+        if args.out:
+            print(f"events    : {args.out}")
+        return 0 if done == len(jobs) else 1
+    finally:
+        if args.no_retry:
+            set_retries(None)
+        obs.event_log.close_file()
+        obs.disable()
 
 
 # ---------------------------------------------------------------------------
@@ -483,6 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="repro-events/1 JSONL file")
     p.set_defaults(func=cmd_obs_why)
 
+    p = obs_sub.add_parser("check", help="verify protocol invariants over a recorded run")
+    p.add_argument("file", help="repro-events/1 JSONL file")
+    p.add_argument(
+        "--require-complete",
+        action="store_true",
+        help="also fail on unterminated claims and unfinished jobs",
+    )
+    p.set_defaults(func=cmd_obs_check)
+
     p = obs_sub.add_parser("tail", help="print the recorded event stream")
     p.add_argument("file", help="repro-events/1 JSONL file")
     p.add_argument("--limit", type=int, default=20, help="events to show (default: 20)")
@@ -493,6 +581,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", help="repro-events/1 JSONL file")
     p.add_argument("--out", help="write summary here instead of stdout")
     p.set_defaults(func=cmd_obs_export)
+
+    from .sim.chaos import PROFILES
+
+    p = sub.add_parser("chaos", help="run a pool under a fault-injection profile")
+    p.add_argument("profile", choices=PROFILES)
+    p.add_argument("--out", help="record a repro-events/1 log here")
+    p.add_argument("--seed", type=int, help="override the profile's seed")
+    p.add_argument("--machines", type=int, default=6)
+    p.add_argument("--jobs", type=int, default=16)
+    p.add_argument("--horizon", type=float, default=3600.0, help="chaos window span (s)")
+    p.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable protocol retries/leases (demonstrates stranded work)",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -25,26 +25,47 @@ Behaviour implemented here:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..classads import ClassAd, rank_value
 from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy, constraints_satisfied
+from ..obs import event_log as _events, metrics as _metrics
 from ..protocols import (
     Advertisement,
+    BackoffPolicy,
     ClaimRequest,
     ClaimResponse,
     MatchNotification,
     ReleaseNotice,
+    Retransmitter,
     TicketAuthority,
     embed_ticket,
+    retries_enabled,
     verify_claim,
 )
 from ..protocols.claiming import ClaimVerdict
 from ..sim import Network, Simulator, Trace
 from .jobs import REFERENCE_MIPS
-from .messages import JobCompleted, JobEvicted, KeepAlive, NoticeAck
+from .messages import JobCompleted, JobEvicted, KeepAlive, LeaseAck, NoticeAck
 from .states import Activity, MachineState, check_machine_transition
+
+_RA_LEASES_RENEWED = _metrics.counter(
+    "leases.renewed", "claim-lease renewals granted by RAs"
+)
+_RA_LEASES_EXPIRED = _metrics.counter(
+    "leases.expired", "claims reaped because their lease lapsed"
+)
+_RA_DUP_CLAIMS = _metrics.counter(
+    "machine.duplicate_claims",
+    "retransmitted claim requests answered from the replay cache",
+)
+
+#: Replay-cache and notification-dedup bound: old entries are evicted
+#: FIFO once this many are held (retransmit windows are far shorter
+#: than the lifetime of 512 claims).
+_REPLAY_CAP = 512
 
 #: Default owner policy: accept anyone whenever the machine is not in
 #: Owner state (the state machine handles owner presence; pools built
@@ -101,6 +122,7 @@ class _Claim:
     wants_checkpoint: bool
     completion_handle: object = None
     last_alive: float = 0.0
+    lease_expires: float = float("inf")
 
 
 class MachineAgent:
@@ -141,9 +163,31 @@ class MachineAgent:
         self.state = MachineState.UNCLAIMED
         self.claim: Optional[_Claim] = None
         self.owner_active = False
+        self.crashed = False
         self._owner_last_departure = sim.now
         self._sequence = 0
         self._pending_notices = {}
+        # Receiver-side duplicate suppression (retransmits are blind, so
+        # the RA must answer repeats idempotently): verdicts by
+        # (match_id, sender, job_id), and match notifications seen.
+        self._claim_verdicts: OrderedDict = OrderedDict()
+        self._seen_notifications: OrderedDict = OrderedDict()
+        retry_rng = rng.fork("retry") if rng is not None else None
+        #: Blind retransmit of each advertisement (same sequence number;
+        #: the collector's >=-sequence refresh makes copies idempotent).
+        self._ad_retx = Retransmitter(
+            sim,
+            net,
+            rng=retry_rng,
+            kind="advertisement",
+            policy=BackoffPolicy(
+                base=advertise_interval / 8.0,
+                factor=2.0,
+                cap=advertise_interval / 2.0,
+                jitter=0.25,
+                max_tries=1,
+            ),
+        )
         self.notice_retry_interval = 30.0
         #: Give up teardown-notice delivery after this many resends (the
         #: peer is almost certainly gone; 50 tries beats 10% loss by
@@ -283,15 +327,19 @@ class MachineAgent:
 
     def advertise(self) -> None:
         self._sequence += 1
-        self.net.send(
-            Advertisement(
-                sender=self.address,
-                recipient=self.collector_address,
-                name=f"machine.{self.spec.name}",
-                ad=self.build_ad(),
-                lifetime=self.ad_lifetime,
-                sequence=self._sequence,
-            )
+        seq = self._sequence
+        message = Advertisement(
+            sender=self.address,
+            recipient=self.collector_address,
+            name=f"machine.{self.spec.name}",
+            ad=self.build_ad(),
+            lifetime=self.ad_lifetime,
+            sequence=seq,
+        )
+        # Retransmit unless a newer ad has superseded this one (the
+        # collector would drop the stale sequence anyway) or we died.
+        self._ad_retx.send(
+            message, stop_when=lambda: self._sequence != seq or self.crashed
         )
         self.trace.emit(
             self.sim.now, "advertise-machine", machine=self.spec.name, state=self.state.value
@@ -304,6 +352,10 @@ class MachineAgent:
             self._on_claim_request(message)
         elif isinstance(message, MatchNotification):
             # Step 3 arrives here too; the RA just awaits the claim.
+            # Notifications may be retransmitted — record each once.
+            if message.match_id in self._seen_notifications:
+                return
+            self._remember(self._seen_notifications, message.match_id, True)
             self.trace.emit(
                 self.sim.now, "match-notified-provider", machine=self.spec.name,
                 match=message.match_id,
@@ -313,8 +365,49 @@ class MachineAgent:
         elif isinstance(message, NoticeAck):
             self._pending_notices.pop(message.match_id, None)
         elif isinstance(message, KeepAlive):
-            if self.claim is not None and self.claim.match_id == message.match_id:
-                self.claim.last_alive = self.sim.now
+            self._on_keepalive(message)
+
+    def _on_keepalive(self, message: KeepAlive) -> None:
+        claim = self.claim
+        if claim is not None and claim.match_id == message.match_id:
+            claim.last_alive = self.sim.now
+            if self.claim_lease is not None:
+                claim.lease_expires = self.sim.now + self.claim_lease
+                _RA_LEASES_RENEWED.inc()
+                if _events.enabled:
+                    _events.emit(
+                        "claim.lease.renewed",
+                        t=self.sim.now,
+                        machine=self.spec.name,
+                        match=claim.match_id,
+                        expires=claim.lease_expires,
+                    )
+                self.net.send(
+                    LeaseAck(
+                        sender=self.address,
+                        recipient=message.sender,
+                        match_id=message.match_id,
+                        ok=True,
+                        lease=self.claim_lease,
+                    )
+                )
+        elif self.claim_lease is not None:
+            # No such claim here: NACK so the customer stops renewing a
+            # dead claim and recovers the job (e.g. after we crashed).
+            self.net.send(
+                LeaseAck(
+                    sender=self.address,
+                    recipient=message.sender,
+                    match_id=message.match_id,
+                    ok=False,
+                )
+            )
+
+    @staticmethod
+    def _remember(cache: OrderedDict, key, value) -> None:
+        cache[key] = value
+        while len(cache) > _REPLAY_CAP:
+            cache.popitem(last=False)
 
     def _send_reliably(self, notice) -> None:
         """Send a claim-teardown notice, retrying until the CA acks.
@@ -326,14 +419,17 @@ class MachineAgent:
         """
         self._pending_notices[notice.match_id] = notice
         self.net.send(notice)
-        self._schedule_notice_retry(notice.match_id, self.max_notice_retries)
+        if retries_enabled():
+            self._schedule_notice_retry(notice.match_id, self.max_notice_retries)
+        else:
+            self._pending_notices.pop(notice.match_id, None)
 
     def _schedule_notice_retry(self, match_id: int, retries_left: int) -> None:
         def retry():
             notice = self._pending_notices.get(match_id)
             if notice is None:
                 return  # acked
-            if retries_left <= 0:
+            if retries_left <= 0 or not retries_enabled():
                 self._pending_notices.pop(match_id, None)
                 return  # peer presumed dead; leases cover the rest
             self.net.send(notice)
@@ -341,7 +437,38 @@ class MachineAgent:
 
         self.sim.schedule(self.notice_retry_interval, retry)
 
+    def _claim_key(self, request: ClaimRequest):
+        job_id = request.customer_ad.evaluate("JobId")
+        return (
+            request.match_id,
+            request.sender,
+            job_id if isinstance(job_id, int) else -1,
+        )
+
     def _on_claim_request(self, request: ClaimRequest) -> None:
+        # Duplicate suppression: a retransmitted request replays the
+        # original verdict instead of colliding with the claim it itself
+        # created (which would wrongly answer ALREADY_CLAIMED).  The
+        # accept is only replayed while that exact claim is still live;
+        # afterwards the honest answer is "that claim is gone".
+        cached = self._claim_verdicts.get(self._claim_key(request))
+        if cached is not None:
+            _RA_DUP_CLAIMS.inc()
+            accepted, reason = cached
+            claim = self.claim
+            if accepted and (claim is None or claim.match_id != request.match_id):
+                accepted, reason = False, "stale-claim"
+            self.net.send(
+                ClaimResponse(
+                    sender=self.address,
+                    recipient=request.sender,
+                    match_id=request.match_id,
+                    accepted=accepted,
+                    reason=reason,
+                    lease_duration=self.claim_lease if accepted else None,
+                )
+            )
+            return
         preempting = False
         if self.claim is not None:
             # Rank preemption: only a strictly better customer may displace
@@ -374,12 +501,16 @@ class MachineAgent:
             self.claims_accepted += 1
         else:
             self.claims_rejected += 1
+        self._remember(self._claim_verdicts, self._claim_key(request), (accepted, reason))
+        job_id = request.customer_ad.evaluate("JobId")
         self.trace.emit(
             self.sim.now,
             "claim-response",
             machine=self.spec.name,
             accepted=accepted,
             reason=reason,
+            match=request.match_id,
+            job=job_id if isinstance(job_id, int) else -1,
         )
         self.net.send(
             ClaimResponse(
@@ -388,6 +519,7 @@ class MachineAgent:
                 match_id=request.match_id,
                 accepted=accepted,
                 reason=reason,
+                lease_duration=self.claim_lease if accepted else None,
             )
         )
 
@@ -412,7 +544,17 @@ class MachineAgent:
         claim.last_alive = self.sim.now
         self.claim = claim
         if self.claim_lease is not None:
-            self._arm_lease_check(claim)
+            claim.lease_expires = self.sim.now + self.claim_lease
+            self._arm_lease_reaper(claim)
+            if _events.enabled:
+                _events.emit(
+                    "claim.lease.granted",
+                    t=self.sim.now,
+                    machine=self.spec.name,
+                    match=claim.match_id,
+                    job=claim.job_id,
+                    lease=self.claim_lease,
+                )
         # Rotate the ticket: the consumed one must not authorize a second
         # claim, and subsequent (Claimed-state) ads carry a fresh ticket
         # for potential preemptors.
@@ -432,22 +574,34 @@ class MachineAgent:
             ClaimVerdict.ACCEPTED.value,
         )
 
-    def _arm_lease_check(self, claim: _Claim) -> None:
-        """Periodically verify the customer is still alive; reclaim the
-        machine when the lease lapses (Condor's ALIVE protocol)."""
+    def _arm_lease_reaper(self, claim: _Claim) -> None:
+        """Fire exactly when the lease would lapse; each renewal pushes
+        ``lease_expires`` forward, so the reaper just re-arms itself
+        until the deadline is real (Condor's ALIVE protocol, with a
+        reaper instead of the old half-lease poll)."""
 
-        def check():
+        def reap():
             if self.claim is not claim:
                 return  # claim already ended
-            if self.sim.now - claim.last_alive > self.claim_lease:
+            if self.sim.now >= claim.lease_expires:
                 self.evictions_lease += 1
+                _RA_LEASES_EXPIRED.inc()
+                if _events.enabled:
+                    _events.emit(
+                        "claim.lease.expired",
+                        t=self.sim.now,
+                        machine=self.spec.name,
+                        match=claim.match_id,
+                        job=claim.job_id,
+                    )
                 self._evict("claim-lease-expired")
                 if not self.owner_active:
                     self._set_state(MachineState.UNCLAIMED)
             else:
-                self.sim.schedule(self.claim_lease / 2.0, check)
+                self._arm_lease_reaper(claim)
 
-        self.sim.schedule(self.claim_lease / 2.0, check)
+        delay = max(claim.lease_expires - self.sim.now, 0.0)
+        self.sim.schedule(delay + 1e-9, reap)
 
     def _work_done(self, claim: _Claim) -> float:
         """Reference CPU-seconds executed so far under *claim*."""
@@ -510,6 +664,44 @@ class MachineAgent:
         )
         if self.on_claim_ended is not None:
             self.on_claim_ended(str(claim.job_ad.evaluate("Owner")), self.spec.name)
+
+    # -- failure injection (chaos crash schedules) -------------------------
+
+    def crash(self) -> None:
+        """The RA process dies: it stops transmitting, loses its claim
+        and any pending teardown notices, and its ads go stale.  The
+        customer learns of the loss only through the lease protocol."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.net.set_down(self.address)
+        claim = self.claim
+        if claim is not None:
+            self.claim = None
+            if claim.completion_handle is not None:
+                self.sim.cancel(claim.completion_handle)
+            if self.on_claim_ended is not None:
+                self.on_claim_ended(str(claim.job_ad.evaluate("Owner")), self.spec.name)
+        self._pending_notices.clear()
+        self._claim_verdicts.clear()
+        self._seen_notifications.clear()
+        self.trace.emit(self.sim.now, "machine-crash", machine=self.spec.name)
+
+    def restart(self) -> None:
+        """Reboot after :meth:`crash`: fresh ticket, fresh ads, no
+        memory of the old claim."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.net.set_down(self.address, down=False)
+        target = MachineState.OWNER if self.owner_active else MachineState.UNCLAIMED
+        if self.state is not target:
+            self._set_state(target)  # mints/revokes the ticket, re-advertises
+        else:
+            if target is MachineState.UNCLAIMED:
+                self.authority.mint()
+            self.advertise()
+        self.trace.emit(self.sim.now, "machine-restart", machine=self.spec.name)
 
     def _on_release(self, notice: ReleaseNotice) -> None:
         """Customer relinquished the claim (Section 4)."""

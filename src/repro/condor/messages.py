@@ -9,6 +9,7 @@ traffic *after* a claim is established.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..protocols.messages import Message
 
@@ -48,6 +49,22 @@ class KeepAlive(Message):
     """
 
     match_id: int
+
+
+@dataclass(frozen=True)
+class LeaseAck(Message):
+    """RA → CA: reply to a KeepAlive lease renewal.
+
+    ``ok=True`` confirms the claim's lease was extended by ``lease``
+    seconds.  ``ok=False`` says the RA holds no such claim (it crashed,
+    reaped the lease, or was preempted and the teardown notice was
+    lost) — the CA should declare the claim dead and recover the job
+    rather than keep renewing into the void.
+    """
+
+    match_id: int
+    ok: bool
+    lease: Optional[float] = None
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from ..matchmaking import Accountant, Assignment, CycleStats, negotiation_cycle
 from ..matchmaking.index import ProviderIndex
 from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy
 from ..obs import metrics as _metrics, tracer as _tracer
-from ..protocols import build_notifications
+from ..protocols import BackoffPolicy, Retransmitter, build_notifications
 from ..sim import Network, Simulator, Trace
 from .collector import Collector
 
@@ -59,10 +59,21 @@ class Negotiator:
         allow_preemption: bool = True,
         use_index: bool = False,
         with_session_key: bool = False,
+        rng=None,
     ):
         self.sim = sim
         self.net = net
         self.collector = collector
+        #: Match notifications get one blind retransmit shortly after
+        #: the original (both receivers de-duplicate by match id); a
+        #: notification lost twice is recovered by the next cycle.
+        self._notify_retx = Retransmitter(
+            sim,
+            net,
+            rng=rng.fork("retry") if rng is not None else None,
+            kind="match-notification",
+            policy=BackoffPolicy(base=5.0, factor=2.0, cap=10.0, jitter=0.25, max_tries=1),
+        )
         self.trace = trace if trace is not None else Trace(enabled=False)
         self.address = address
         self.cycle_interval = cycle_interval
@@ -152,8 +163,8 @@ class Negotiator:
             machine=assignment.provider.evaluate("Name"),
             preempts=assignment.preempts,
         )
-        self.net.send(to_customer)
-        self.net.send(to_provider)
+        self._notify_retx.send(to_customer)
+        self._notify_retx.send(to_provider)
 
     # -- failure injection ----------------------------------------------------
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from ..matchmaking import Accountant
 from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy
 from ..sim import Network, PoolMetrics, RngStream, Simulator, Trace, UtilizationTracker
+from ..sim.chaos import ChaosController, ChaosPlan, chaos_profile, plan_from_env
 from .collector import Collector
 from .jobs import Job
 from .machine import MachineAgent, MachineSpec, OwnerModel
@@ -42,6 +43,12 @@ class PoolConfig:
     with_session_key: bool = False
     priority_half_life: float = 3_600.0
     trace_enabled: bool = True
+    #: Fault injection: a :class:`~repro.sim.chaos.ChaosPlan`, a profile
+    #: name (``"lossy"``, ``"partition"``, ``"cm-crash"``), ``None`` to
+    #: consult the ``REPRO_CHAOS`` environment hook, or ``False`` to run
+    #: clean even when the env var is set.
+    chaos: object = None
+    chaos_horizon: float = 3_600.0
 
 
 class CondorPool:
@@ -96,6 +103,7 @@ class CondorPool:
             allow_preemption=cfg.allow_preemption,
             use_index=cfg.use_index,
             with_session_key=cfg.with_session_key,
+            rng=self.rng.fork("negotiator"),
         )
 
         owner_models = owner_models or {}
@@ -121,6 +129,35 @@ class CondorPool:
         self.schedds: Dict[str, CustomerAgent] = {}
         self._started = False
         self._pending_submissions = 0
+        self.chaos: Optional[ChaosController] = None
+        self._arm_chaos(cfg)
+
+    def _arm_chaos(self, cfg: PoolConfig) -> None:
+        """Resolve ``cfg.chaos`` to a plan and attach it to the network."""
+        spec = cfg.chaos
+        if spec is False:
+            return
+        plan: Optional[ChaosPlan]
+        if isinstance(spec, ChaosPlan):
+            plan = spec
+        elif isinstance(spec, str):
+            plan = chaos_profile(spec, horizon=cfg.chaos_horizon)
+        elif spec is None:
+            plan = plan_from_env(horizon=cfg.chaos_horizon)
+        else:
+            raise TypeError(f"unsupported chaos spec: {spec!r}")
+        if plan is None:
+            return
+        hooks = {
+            "cm": (
+                lambda: (self.collector.crash(), self.negotiator.crash()),
+                lambda: (self.collector.recover(), self.negotiator.recover()),
+            )
+        }
+        for agent in self.machines.values():
+            hooks[agent.address] = (agent.crash, agent.restart)
+        self.chaos = ChaosController(plan, rng=self.rng)
+        self.chaos.arm(self.sim, self.net, crash_hooks=hooks)
 
     # -- accounting hooks ---------------------------------------------------
 
@@ -149,6 +186,7 @@ class CondorPool:
                 ad_lifetime=self.config.ad_lifetime,
                 claim_timeout=self.config.claim_timeout,
                 flock_collectors=self.flock_collectors,
+                rng=self.rng.fork(f"ca/{owner}"),
             )
             self.schedds[owner] = agent
             if self._started:

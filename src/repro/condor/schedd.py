@@ -20,6 +20,7 @@ Behaviour implemented here:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -27,15 +28,18 @@ from ..classads import ClassAd
 from ..obs import metrics as _metrics, tracer as _tracer
 from ..protocols import (
     Advertisement,
+    BackoffPolicy,
     ClaimRequest,
     ClaimResponse,
     MatchNotification,
     ReleaseNotice,
+    Retransmitter,
     Withdrawal,
+    retries_enabled,
 )
 from ..sim import Network, PoolMetrics, Simulator, Trace
 from .jobs import Job
-from .messages import JobCompleted, JobEvicted, KeepAlive, NoticeAck
+from .messages import JobCompleted, JobEvicted, KeepAlive, LeaseAck, NoticeAck
 from .states import JobState
 
 _CA_SUBMITTED = _metrics.counter("schedd.jobs_submitted", "jobs enqueued at CAs")
@@ -53,6 +57,16 @@ _CA_MATCHES_IGNORED = _metrics.counter(
 _CA_EVICTIONS = _metrics.counter(
     "schedd.evictions", "running jobs evicted, by checkpoint outcome"
 )
+_CA_LEASES_LOST = _metrics.counter(
+    "schedd.leases_lost", "running claims declared dead by the lease protocol"
+)
+_CA_DUP_MATCHES = _metrics.counter(
+    "schedd.duplicate_matches", "retransmitted match notifications suppressed"
+)
+
+#: Match-notification dedup bound (FIFO eviction; see machine.py's
+#: replay cache for the same reasoning).
+_SEEN_MATCH_CAP = 512
 
 
 @dataclass
@@ -62,6 +76,17 @@ class _PendingClaim:
     provider_name: str
     sent_at: float
     timeout_handle: object
+
+
+@dataclass
+class _ActiveClaim:
+    """CA-side record of one running claim: where to renew the lease,
+    and when the provider last confirmed it."""
+
+    job: Job
+    provider_address: str
+    lease_duration: Optional[float]
+    last_ack: float
 
 
 class CustomerAgent:
@@ -81,6 +106,7 @@ class CustomerAgent:
         alive_interval: float = 60.0,
         flock_collectors: Sequence[str] = (),
         flock_threshold: float = 600.0,
+        rng=None,
     ):
         self.sim = sim
         self.net = net
@@ -102,11 +128,43 @@ class CustomerAgent:
         self.jobs: Dict[int, Job] = {}
         self._pending: Dict[int, _PendingClaim] = {}  # by match_id
         self._pending_jobs: set = set()  # job ids with a claim in flight
-        # provider address per active claim, for ALIVE keep-alives
-        self._claim_addresses: Dict[int, str] = {}
+        # active claims by match_id: lease bookkeeping + ALIVE targets
+        self._active: Dict[int, _ActiveClaim] = {}
+        # match notifications already acted on (retransmit suppression)
+        self._seen_matches: OrderedDict = OrderedDict()
         # collectors each job's ad has been sent to (for withdrawal)
         self._advertised_to: Dict[int, set] = {}
         self._sequence = 0
+        retry_rng = rng.fork("retry") if rng is not None else None
+        #: Claim requests are retransmitted inside the claim-timeout
+        #: window; the RA's replay cache makes the repeats idempotent.
+        self._claim_retx = Retransmitter(
+            sim,
+            net,
+            rng=retry_rng,
+            kind="claim-request",
+            policy=BackoffPolicy(
+                base=max(claim_timeout / 6.0, 1.0),
+                factor=2.0,
+                cap=max(claim_timeout / 2.0, 2.0),
+                jitter=0.2,
+                max_tries=2,
+            ),
+        )
+        #: Job-ad retransmit: one blind extra copy per advertisement.
+        self._ad_retx = Retransmitter(
+            sim,
+            net,
+            rng=retry_rng,
+            kind="advertisement",
+            policy=BackoffPolicy(
+                base=advertise_interval / 8.0,
+                factor=2.0,
+                cap=advertise_interval / 2.0,
+                jitter=0.25,
+                max_tries=1,
+            ),
+        )
 
         net.register(self.address, self._on_message)
 
@@ -116,14 +174,50 @@ class CustomerAgent:
         self.sim.every(self.alive_interval, self._send_keepalives)
 
     def _send_keepalives(self) -> None:
-        """Refresh the claim lease of every running job (Condor's ALIVE
-        messages); an RA that stops hearing these reclaims its machine."""
-        for match_id, address in self._claim_addresses.items():
+        """Renew the lease of every running claim (Condor's ALIVE
+        messages); an RA that stops hearing these reclaims its machine.
+
+        The renewal is bidirectional since the lease work: the RA acks
+        each renewal (:class:`LeaseAck`), and a claim whose acks stop
+        for longer than the granted lease is declared dead here — the
+        only way the CA ever learns a machine crashed mid-job."""
+        now = self.sim.now
+        for match_id, active in list(self._active.items()):
+            if (
+                active.lease_duration is not None
+                and retries_enabled()
+                and now - active.last_ack > active.lease_duration
+            ):
+                self._lease_lost(match_id)
+                continue
             self.net.send(
                 KeepAlive(
-                    sender=self.address, recipient=address, match_id=match_id
+                    sender=self.address,
+                    recipient=active.provider_address,
+                    match_id=match_id,
                 )
             )
+
+    def _lease_lost(self, match_id: int) -> None:
+        """The provider is gone (lease acks stopped or were NACKed):
+        recover the job instead of renewing into the void.  Work done
+        under the dead claim is unknown, so none is credited."""
+        active = self._active.pop(match_id, None)
+        if active is None:
+            return
+        _CA_LEASES_LOST.inc()
+        job = active.job
+        if job.state is not JobState.RUNNING or job.running_match_id != match_id:
+            return
+        job.state = JobState.IDLE
+        job.running_on = None
+        job.running_match_id = None
+        job.restarts += 1
+        self.trace.emit(
+            self.sim.now, "claim.lease.lost", owner=self.owner, job=job.job_id,
+            match=match_id,
+        )
+        self._advertise_job(job)  # back in the hunt immediately
 
     # -- queue management ------------------------------------------------
 
@@ -164,12 +258,12 @@ class CustomerAgent:
         if job is None or job.state in (JobState.COMPLETED, JobState.REMOVED):
             return False
         if job.state is JobState.RUNNING and job.running_match_id is not None:
-            address = self._claim_addresses.pop(job.running_match_id, None)
-            if address is not None:
+            active = self._active.pop(job.running_match_id, None)
+            if active is not None:
                 self.net.send(
                     ReleaseNotice(
                         sender=self.address,
-                        recipient=address,
+                        recipient=active.provider_address,
                         match_id=job.running_match_id,
                     )
                 )
@@ -190,15 +284,21 @@ class CustomerAgent:
     def _advertise_job(self, job: Job, collector: Optional[str] = None) -> None:
         collector = collector if collector is not None else self.collector_address
         self._sequence += 1
-        self.net.send(
-            Advertisement(
-                sender=self.address,
-                recipient=collector,
-                name=self._ad_name(job),
-                ad=job.to_classad(self.address, self.sim.now),
-                lifetime=self.ad_lifetime,
-                sequence=self._sequence,
-            )
+        message = Advertisement(
+            sender=self.address,
+            recipient=collector,
+            name=self._ad_name(job),
+            ad=job.to_classad(self.address, self.sim.now),
+            lifetime=self.ad_lifetime,
+            sequence=self._sequence,
+        )
+        # One blind extra copy, abandoned once the job stops being idle
+        # (stale copies of older ads are dropped by the collector's
+        # sequence check anyway).
+        self._ad_retx.send(
+            message,
+            stop_when=lambda: job.state is not JobState.IDLE
+            or job.job_id in self._pending_jobs,
         )
         self._advertised_to.setdefault(job.job_id, set()).add(collector)
         self.trace.emit(
@@ -247,9 +347,31 @@ class CustomerAgent:
             self._on_completed(message)
         elif isinstance(message, JobEvicted):
             self._on_evicted(message)
+        elif isinstance(message, LeaseAck):
+            self._on_lease_ack(message)
+
+    def _on_lease_ack(self, message: LeaseAck) -> None:
+        active = self._active.get(message.match_id)
+        if active is None:
+            return
+        if message.ok:
+            active.last_ack = self.sim.now
+            if message.lease is not None:
+                active.lease_duration = message.lease
+        elif retries_enabled():
+            # The RA disowned the claim (it crashed or reaped the lease
+            # and the teardown notice never reached us): recover now.
+            self._lease_lost(message.match_id)
 
     def _on_match(self, notification: MatchNotification) -> None:
         """Figure 3, step 3→4: a match is a *hint*; try to claim."""
+        if notification.match_id in self._seen_matches:
+            # Retransmitted notification: the first copy already decided.
+            _CA_DUP_MATCHES.inc()
+            return
+        self._seen_matches[notification.match_id] = True
+        while len(self._seen_matches) > _SEEN_MATCH_CAP:
+            self._seen_matches.popitem(last=False)
         job_id = notification.my_ad.evaluate("JobId")
         job = self.jobs.get(job_id) if isinstance(job_id, int) else None
         if job is None or job.state is not JobState.IDLE or job.job_id in self._pending_jobs:
@@ -301,7 +423,10 @@ class CustomerAgent:
             self.sim.now, "claim-request", owner=self.owner, job=job.job_id,
             machine=provider_name,
         )
-        self.net.send(request)
+        match_id = notification.match_id
+        self._claim_retx.send(
+            request, stop_when=lambda: match_id not in self._pending
+        )
 
     def _claim_timed_out(self, match_id: int) -> None:
         pending = self._pending.pop(match_id, None)
@@ -337,7 +462,12 @@ class CustomerAgent:
         job.state = JobState.RUNNING
         job.running_on = pending.provider_name
         job.running_match_id = response.match_id
-        self._claim_addresses[response.match_id] = pending.provider_address
+        self._active[response.match_id] = _ActiveClaim(
+            job=job,
+            provider_address=pending.provider_address,
+            lease_duration=response.lease_duration,
+            last_ack=self.sim.now,
+        )
         if job.first_start_time is None:
             job.first_start_time = self.sim.now
             wait = job.wait_time()
@@ -350,6 +480,7 @@ class CustomerAgent:
             owner=self.owner,
             job=job.job_id,
             machine=pending.provider_name,
+            match=response.match_id,
         )
 
     def _ack_notice(self, message) -> None:
@@ -375,7 +506,7 @@ class CustomerAgent:
     def _on_completed(self, message: JobCompleted) -> None:
         self._ack_notice(message)
         job = self._current_claim_notice(message)
-        self._claim_addresses.pop(message.match_id, None)
+        self._active.pop(message.match_id, None)
         if job is None:
             return
         job.state = JobState.COMPLETED
@@ -395,7 +526,7 @@ class CustomerAgent:
     def _on_evicted(self, message: JobEvicted) -> None:
         self._ack_notice(message)
         job = self._current_claim_notice(message)
-        self._claim_addresses.pop(message.match_id, None)
+        self._active.pop(message.match_id, None)
         if job is None:
             return
         job.state = JobState.IDLE

@@ -43,6 +43,7 @@ import os
 
 from . import export
 from .events import EVENTS_SCHEMA, Event, EventLog, EventLogError, event_log
+from .invariants import InvariantReport, Violation, check_events
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, RunningStats
 from .tracer import NULL_SPAN, Span, Tracer
 
@@ -98,11 +99,14 @@ __all__ = [
     "EventLogError",
     "Gauge",
     "Histogram",
+    "InvariantReport",
     "MetricsRegistry",
     "NULL_SPAN",
     "RunningStats",
     "Span",
     "Tracer",
+    "Violation",
+    "check_events",
     "disable",
     "enable",
     "event_log",

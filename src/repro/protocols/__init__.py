@@ -43,9 +43,19 @@ from .notify import (
     make_session_key,
     ticket_from_ad,
 )
+from .retry import (
+    BackoffPolicy,
+    Retransmitter,
+    retries_enabled,
+    set_retries,
+)
 from .tickets import ChallengeResponse, Ticket, TicketAuthority
 
 __all__ = [
+    "BackoffPolicy",
+    "Retransmitter",
+    "retries_enabled",
+    "set_retries",
     "AdStore",
     "Advertisement",
     "ChallengeResponse",

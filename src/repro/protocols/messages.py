@@ -93,12 +93,19 @@ class ClaimRequest(Message):
 
 @dataclass(frozen=True)
 class ClaimResponse(Message):
-    """The provider's verdict on a claim request."""
+    """The provider's verdict on a claim request.
+
+    An accepted response carries the provider's claim-lease duration:
+    the customer must renew (KeepAlive) within that window or the
+    provider reaps the claim.  ``None`` means the provider runs without
+    leases (legacy blind keep-alives).
+    """
 
     match_id: int
     accepted: bool
     reason: str = ""
     challenge: Optional[bytes] = None  # set when demanding a handshake
+    lease_duration: Optional[float] = None
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,17 @@ substitution (see DESIGN.md §3): a deterministic discrete-event kernel
 read (:mod:`~repro.sim.trace`, :mod:`~repro.sim.metrics`).
 """
 
+from .chaos import (
+    PROFILES,
+    ChaosController,
+    ChaosPlan,
+    CrashWindow,
+    DuplicationWindow,
+    LossWindow,
+    PartitionWindow,
+    chaos_profile,
+    plan_from_env,
+)
 from .engine import EventHandle, PeriodicTask, Simulator
 from .metrics import PoolMetrics, RunningStats, UtilizationTracker
 from .network import Network, NetworkStats
@@ -15,7 +26,16 @@ from .rng import RngStream
 from .trace import Trace, TraceEvent
 
 __all__ = [
+    "PROFILES",
+    "ChaosController",
+    "ChaosPlan",
+    "CrashWindow",
+    "DuplicationWindow",
     "EventHandle",
+    "LossWindow",
+    "PartitionWindow",
+    "chaos_profile",
+    "plan_from_env",
     "Network",
     "NetworkStats",
     "PeriodicTask",

@@ -9,7 +9,11 @@ behaviours deterministically:
   jitter makes reordering possible;
 * each message is independently dropped with probability ``loss``;
 * messages to a crashed (deregistered or downed) node vanish, as UDP
-  datagrams to a dead host would.
+  datagrams to a dead host would;
+* an installed :class:`~repro.sim.chaos.ChaosController` is consulted
+  on every send and may additionally drop the message (time-windowed
+  loss, asymmetric partitions) or deliver extra copies (duplication),
+  each copy with an independent latency draw.
 
 Handlers are ``fn(message) -> None`` callables registered per contact
 address, mirroring the daemons listening on their command ports.
@@ -20,10 +24,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from ..obs import metrics as _metrics
 from .engine import Simulator
 from .rng import RngStream
 
 Handler = Callable[[object], None]
+
+_NET_DUPLICATED = _metrics.counter(
+    "net.duplicated", "extra message copies injected by chaos duplication"
+)
+_NET_DROPPED_PARTITION = _metrics.counter(
+    "net.dropped_partition", "messages dropped by chaos partition windows"
+)
 
 
 @dataclass
@@ -35,6 +47,8 @@ class NetworkStats:
     dropped_loss: int = 0
     dropped_no_recipient: int = 0
     dropped_down: int = 0
+    dropped_partition: int = 0
+    duplicated: int = 0
 
 
 class Network:
@@ -60,6 +74,12 @@ class Network:
         self.stats = NetworkStats()
         self._handlers: Dict[str, Handler] = {}
         self._down: set = set()
+        self._chaos = None  # Optional[repro.sim.chaos.ChaosController]
+
+    def install_chaos(self, controller) -> None:
+        """Route every subsequent send through *controller* (see
+        :mod:`repro.sim.chaos`); ``None`` uninstalls."""
+        self._chaos = controller
 
     # -- membership ------------------------------------------------------
 
@@ -99,10 +119,28 @@ class Network:
         if self.loss and self.rng.bernoulli(self.loss):
             self.stats.dropped_loss += 1
             return
+        if self._chaos is not None:
+            cause, copies = self._chaos.send_verdict(
+                sender or "", message.recipient, self.sim.now
+            )
+            if cause == "partition":
+                self.stats.dropped_partition += 1
+                _NET_DROPPED_PARTITION.inc()
+                return
+            if cause == "loss":
+                self.stats.dropped_loss += 1
+                return
+            for _ in range(copies):
+                self.stats.duplicated += 1
+                _NET_DUPLICATED.inc()
+                self.sim.schedule(self._delay(), lambda: self._deliver(message))
+        self.sim.schedule(self._delay(), lambda: self._deliver(message))
+
+    def _delay(self) -> float:
         delay = self.latency
         if self.jitter:
             delay += self.rng.uniform(0.0, self.jitter)
-        self.sim.schedule(delay, lambda: self._deliver(message))
+        return delay
 
     def _deliver(self, message) -> None:
         recipient = message.recipient

@@ -320,3 +320,113 @@ class TestJobRemoval:
         ca.submit(job)
         assert ca.remove(job.job_id)
         assert not ca.remove(job.job_id)
+
+
+class TestRecoveryUnderLoss:
+    """The hardening satellites: claim timeout and eviction handling when
+    the network eats messages."""
+
+    def test_claim_request_lost_to_down_machine_times_out(self):
+        sim, net, ca, collector_inbox, machine_inbox = make_schedd(claim_timeout=30.0)
+        job = Job(owner="alice", total_work=100)
+        ca.submit(job)
+        net.set_down("startd@m0")  # every request (and retry) is eaten
+        net.send(notify(ca, job, sim))
+        sim.run_until(1.0)
+        assert job.job_id in ca._pending_jobs
+        dropped_before = net.stats.dropped_down
+        sim.run_until(60.0)  # past the claim timeout
+        assert net.stats.dropped_down >= dropped_before >= 1
+        assert job.state is JobState.IDLE
+        assert job.job_id not in ca._pending_jobs
+        assert ca.metrics.claim_rejections_by_reason.get("timeout") == 1
+
+    def test_job_rematchable_after_timeout(self):
+        sim, net, ca, collector_inbox, machine_inbox = make_schedd(claim_timeout=30.0)
+        job = Job(owner="alice", total_work=100)
+        ca.submit(job)
+        net.set_down("startd@m0")
+        net.send(notify(ca, job, sim, match_id=5))
+        sim.run_until(60.0)
+        net.set_down("startd@m0", down=False)
+        machine_inbox.clear()
+        net.send(notify(ca, job, sim, match_id=6))
+        sim.run_until(61.0)
+        requests = [m for m in machine_inbox if isinstance(m, ClaimRequest)]
+        assert len(requests) == 1
+        assert requests[0].match_id == 6
+
+    def run_to_running(self, ca, net, sim, job, match_id=5):
+        net.send(notify(ca, job, sim, match_id=match_id))
+        sim.run_until(sim.now + 0.5)
+        net.send(
+            ClaimResponse(
+                sender="startd@m0",
+                recipient=ca.address,
+                match_id=match_id,
+                accepted=True,
+                lease_duration=120.0,
+            )
+        )
+        sim.run_until(sim.now + 0.5)
+        assert job.state is JobState.RUNNING
+
+    def test_eviction_recovers_job_even_with_lease_tracking(self):
+        sim, net, ca, collector_inbox, machine_inbox = make_schedd()
+        job = Job(owner="alice", total_work=100)
+        ca.submit(job)
+        self.run_to_running(ca, net, sim, job)
+        net.send(
+            JobEvicted(
+                sender="startd@m0",
+                recipient=ca.address,
+                match_id=5,
+                job_id=job.job_id,
+                reason="owner-returned",
+                checkpointed=False,
+                work_done=10.0,
+            )
+        )
+        sim.run_until(sim.now + 1.0)
+        assert job.state is JobState.IDLE
+        assert job.restarts == 1
+        # The lease bookkeeping for the dead claim is gone: keep-alive
+        # sweeps must not resurrect or re-lose it.
+        sim.run_until(sim.now + 600.0)
+        assert job.state is JobState.IDLE
+
+    def test_lease_silence_recovers_job(self):
+        from repro.protocols import set_retries
+
+        set_retries(True)
+        try:
+            sim, net, ca, collector_inbox, machine_inbox = make_schedd()
+            job = Job(owner="alice", total_work=100)
+            ca.submit(job)
+            self.run_to_running(ca, net, sim, job)
+            net.set_down("startd@m0")  # machine dies silently; acks stop
+            sim.run_until(sim.now + 400.0)  # > lease_duration of 120
+            assert job.state is JobState.IDLE
+            assert job.restarts == 1
+        finally:
+            set_retries(None)
+
+    def test_lease_nack_recovers_job_immediately(self):
+        from repro.condor.messages import LeaseAck
+        from repro.protocols import set_retries
+
+        set_retries(True)
+        try:
+            sim, net, ca, collector_inbox, machine_inbox = make_schedd()
+            job = Job(owner="alice", total_work=100)
+            ca.submit(job)
+            self.run_to_running(ca, net, sim, job)
+            net.send(
+                LeaseAck(
+                    sender="startd@m0", recipient=ca.address, match_id=5, ok=False
+                )
+            )
+            sim.run_until(sim.now + 1.0)
+            assert job.state is JobState.IDLE
+        finally:
+            set_retries(None)

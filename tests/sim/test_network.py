@@ -140,3 +140,77 @@ class TestCrashes:
         net.set_down("b")
         net.register("b", lambda m: None)
         assert not net.is_down("b")
+
+
+class TestStatsDropAccounting:
+    def test_every_drop_path_has_its_own_counter(self):
+        sim = Simulator()
+        net = Network(sim, rng=RngStream(3), latency=0.01)
+        net.register("b", lambda m: None)
+        net.set_down("b")
+        net.send(Ping("a", "b"))       # recipient down
+        net.send(Ping("a", "ghost"))   # no such recipient
+        sim.run()
+        assert net.stats.dropped_down == 1
+        assert net.stats.dropped_no_recipient == 1
+        assert net.stats.dropped_loss == 0
+        assert net.stats.delivered == 0
+
+    def test_sender_down_counts_as_down_drop(self):
+        sim = Simulator()
+        net = Network(sim, latency=0.01)
+        inbox = []
+        net.register("b", inbox.append)
+        net.set_down("a")
+        net.send(Ping("a", "b"))
+        sim.run()
+        assert inbox == []
+        assert net.stats.dropped_down == 1
+
+
+class TestChaosFabric:
+    def make(self, plan):
+        from repro.sim.chaos import ChaosController
+
+        sim = Simulator()
+        net = Network(sim, rng=RngStream(8), latency=0.01)
+        inbox = []
+        net.register("b", inbox.append)
+        ChaosController(plan).arm(sim, net)
+        return sim, net, inbox
+
+    def test_partition_drops_and_counts(self):
+        from repro.sim.chaos import ChaosPlan, PartitionWindow
+
+        sim, net, inbox = self.make(
+            ChaosPlan(partitions=(PartitionWindow(0, 100, "a", "b"),))
+        )
+        for _ in range(5):
+            net.send(Ping("a", "b"))
+        net.send(Ping("c", "b"))  # unmatched sender flows
+        sim.run()
+        assert net.stats.dropped_partition == 5
+        assert len(inbox) == 1
+
+    def test_duplication_delivers_extra_copies(self):
+        from repro.sim.chaos import ChaosPlan, DuplicationWindow
+
+        sim, net, inbox = self.make(
+            ChaosPlan(duplications=(DuplicationWindow(0, 100, 1.0, copies=2),))
+        )
+        net.send(Ping("a", "b", 7))
+        sim.run()
+        assert net.stats.duplicated == 2
+        assert [m.payload for m in inbox] == [7, 7, 7]
+
+    def test_chaos_loss_counts_in_dropped_loss(self):
+        from repro.sim.chaos import ChaosPlan, LossWindow
+
+        sim, net, inbox = self.make(
+            ChaosPlan(seed=4, losses=(LossWindow(0, 100, 0.5),))
+        )
+        for i in range(200):
+            net.send(Ping("a", "b", i))
+        sim.run()
+        assert net.stats.dropped_loss + net.stats.delivered == 200
+        assert 60 < net.stats.dropped_loss < 140

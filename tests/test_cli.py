@@ -324,3 +324,75 @@ class TestPoolFormats:
         path.write_text("[1, 2, 3]")
         with pytest.raises(Exception):
             load_pool(str(path))
+
+
+class TestObsCheck:
+    def write_log(self, tmp_path, records):
+        path = tmp_path / "events.jsonl"
+        lines = ['{"schema": "repro-events/1"}']
+        lines += [json.dumps(r) for r in records]
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_clean_log_passes(self, capsys, tmp_path):
+        path = self.write_log(
+            tmp_path,
+            [
+                {"seq": 1, "t": 0.0, "kind": "job-submitted",
+                 "fields": {"owner": "a", "job": 1}},
+                {"seq": 2, "t": 1.0, "kind": "claim-response",
+                 "fields": {"machine": "m0", "accepted": True, "match": 1, "job": 1}},
+                {"seq": 3, "t": 1.0, "kind": "claim-accepted",
+                 "fields": {"owner": "a", "job": 1, "match": 1}},
+                {"seq": 4, "t": 9.0, "kind": "job-completed",
+                 "fields": {"machine": "m0", "job": 1}},
+                {"seq": 5, "t": 9.1, "kind": "job-done",
+                 "fields": {"owner": "a", "job": 1}},
+            ],
+        )
+        assert main(["obs", "check", path, "--require-complete"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_overlap_fails(self, capsys, tmp_path):
+        path = self.write_log(
+            tmp_path,
+            [
+                {"seq": 1, "t": 1.0, "kind": "claim-response",
+                 "fields": {"machine": "m0", "accepted": True, "match": 1, "job": 1}},
+                {"seq": 2, "t": 2.0, "kind": "claim-response",
+                 "fields": {"machine": "m0", "accepted": True, "match": 2, "job": 2}},
+            ],
+        )
+        assert main(["obs", "check", path]) == 1
+        assert "machine-overlap" in capsys.readouterr().out
+
+    def test_incomplete_only_fails_with_require_complete(self, capsys, tmp_path):
+        path = self.write_log(
+            tmp_path,
+            [{"seq": 1, "t": 0.0, "kind": "job-submitted",
+              "fields": {"owner": "a", "job": 1}}],
+        )
+        assert main(["obs", "check", path]) == 0
+        assert main(["obs", "check", path, "--require-complete"]) == 1
+
+    def test_bad_file_is_cli_error(self, capsys, tmp_path):
+        bad = tmp_path / "nope.jsonl"
+        bad.write_text("not json\n")
+        assert main(["obs", "check", str(bad)]) == 2
+
+
+class TestChaosCommand:
+    def test_chaos_run_records_and_passes_check(self, capsys, tmp_path):
+        out = str(tmp_path / "chaos.jsonl")
+        code = main(
+            ["chaos", "lossy", "--machines", "3", "--jobs", "4",
+             "--horizon", "1200", "--out", out]
+        )
+        stdout = capsys.readouterr().out
+        assert code == 0, stdout
+        assert "4/4 completed" in stdout
+        assert main(["obs", "check", out, "--require-complete"]) == 0
+
+    def test_unknown_profile_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "mayhem"])
