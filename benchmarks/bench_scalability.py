@@ -237,8 +237,17 @@ def _measure_overhead(n_machines, n_requests, repeats):
     set_batching(False)
     try:
         run_cycle(providers, requests, True)  # warm-up
-        best = {"off": float("inf"), "metrics": float("inf"), "events": float("inf")}
-        ratios = {"metrics": float("inf"), "events": float("inf")}
+        best = {
+            "off": float("inf"),
+            "metrics": float("inf"),
+            "events": float("inf"),
+            "tracing": float("inf"),
+        }
+        ratios = {
+            "metrics": float("inf"),
+            "events": float("inf"),
+            "tracing": float("inf"),
+        }
         matched = 0
         events_recorded = 0
         for _ in range(repeats):
@@ -264,6 +273,33 @@ def _measure_overhead(n_machines, n_requests, repeats):
             best["events"] = min(best["events"], elapsed)
             ratios["events"] = min(ratios["events"], elapsed / off_elapsed)
             events_recorded = obs.event_log._seq - seq_before
+            obs.event_log.reset()
+            obs.event_log.disable()
+
+            # Tracing-enabled config: the full recorded-chaos stack —
+            # forensic events AND the causal tracer — plus the tracer's
+            # actual per-match work in a traced negotiation: one
+            # negotiate.match span per assignment (the Negotiator's
+            # stitch; send/recv spans are per-message, not per-cycle,
+            # so they belong to the network layer's budget).
+            obs.event_log.enable()
+            obs.causal_log.enable()
+            root = obs.causal_log.start_trace("bench.cycle", "cycle")
+            traced_assignments, cycle_elapsed, _ = run_cycle(providers, requests, True)
+            t0 = time.perf_counter()
+            for assignment in traced_assignments:
+                obs.causal_log.span(
+                    "negotiate.match",
+                    parent=root,
+                    submitter=assignment.submitter,
+                )
+            # run_cycle times the cycle alone (index build excluded), so
+            # add the span loop on the same basis as off_elapsed.
+            elapsed = cycle_elapsed + (time.perf_counter() - t0)
+            best["tracing"] = min(best["tracing"], elapsed)
+            ratios["tracing"] = min(ratios["tracing"], elapsed / off_elapsed)
+            obs.causal_log.reset()
+            obs.causal_log.disable()
             obs.event_log.reset()
             obs.event_log.disable()
     finally:
@@ -397,6 +433,7 @@ def run_smoke(out_dir=None, machines=500, requests=100, repeats=5):
     disabled_s = best["off"]
     enabled_s = best["metrics"]
     events_s = best["events"]
+    tracing_s = best["tracing"]
     compile_best = _measure_compile_speedup(machines, requests, repeats)
     compile_speedup = compile_best["interpreted"] / compile_best["compiled"]
     snapshot_matched = obs.metrics.get("matchmaker.matched").total
@@ -422,12 +459,15 @@ def run_smoke(out_dir=None, machines=500, requests=100, repeats=5):
     # rather than reporting a negative cost.
     overhead_pct = max(0.0, 100.0 * (ratios["metrics"] - 1.0))
     events_overhead_pct = max(0.0, 100.0 * (ratios["events"] - 1.0))
+    tracing_overhead_pct = max(0.0, 100.0 * (ratios["tracing"] - 1.0))
     throughput = {
         "matches_per_s_metrics_off": matched / disabled_s,
         "matches_per_s_metrics_on": matched / enabled_s,
         "matches_per_s_events_on": matched / events_s,
+        "matches_per_s_tracing_on": matched / tracing_s,
         "obs_overhead_pct": overhead_pct,
         "events_overhead_pct": events_overhead_pct,
+        "tracing_overhead_pct": tracing_overhead_pct,
         "cycle_s_compiled": compile_best["compiled"],
         "cycle_s_interpreted": compile_best["interpreted"],
         "compile_cycle_speedup": compile_speedup,
@@ -446,6 +486,8 @@ def run_smoke(out_dir=None, machines=500, requests=100, repeats=5):
         f"\n  events on   : {1000 * events_s:.1f}ms"
         f" (overhead {events_overhead_pct:+.1f}%,"
         f" {events_recorded} events/cycle)"
+        f"\n  tracing on  : {1000 * tracing_s:.1f}ms"
+        f" (overhead {tracing_overhead_pct:+.1f}%, events + causal spans)"
         f"\n  interpreter : {1000 * compile_best['interpreted']:.1f}ms"
         f" (compiled closures are {compile_speedup:.2f}x faster)"
         f"\n\nbatched engine ({machines} machines, {2 * requests} requests,"
@@ -475,6 +517,11 @@ def run_smoke(out_dir=None, machines=500, requests=100, repeats=5):
         assert events_overhead_pct <= 5.0, (
             f"forensic event log costs {events_overhead_pct:.1f}% on the smoke"
             " cycle; the acceptance bar is 5%"
+        )
+        assert tracing_overhead_pct <= 5.0, (
+            f"tracing-enabled negotiation (events + causal spans) costs"
+            f" {tracing_overhead_pct:.1f}% on the smoke cycle; the"
+            " acceptance bar is 5%"
         )
     assert compile_speedup >= 1.2, (
         f"compiled-closure cycle is only {compile_speedup:.2f}x the"

@@ -16,7 +16,13 @@ their modern equivalents over ad files:
   event log, ``obs report FILE`` summarizes it per cycle, ``obs why
   JOB-ID FILE`` explains one job's rejections (failing conjuncts,
   undefined attributes, near-miss providers), ``obs tail FILE`` prints
-  the raw stream, ``obs export FILE`` emits the CI-facing JSON summary.
+  the raw stream, ``obs export FILE`` emits the CI-facing JSON summary;
+* lifecycle analytics over the same recordings: ``obs timeline JOB
+  FILE`` renders one job's submit→completion phase breakdown, ``obs
+  critical-path JOB FILE`` walks the causal span chain of a
+  ``repro-trace/1`` stream, ``obs latency FILE [--json]`` prints
+  per-phase dwell percentiles, and ``obs pool FILE [--watch]`` renders
+  the ``repro-series/1`` pool-health history.
 
 Ad files may be classad source (``[...]``; file extension ``.ad`` or
 anything non-JSON) or JSON (``.json`` or content starting with ``{``).
@@ -293,14 +299,19 @@ def cmd_obs_record(args) -> int:
     return 0
 
 
+#: ``repro obs report`` sections, in print order.
+REPORT_SECTIONS = ("cycles", "rejections", "robustness", "kinds")
+
+
 def cmd_obs_report(args) -> int:
     from .obs.events import summarize
 
     events = _load_events(args.file)
     summary = summarize(events)
+    wanted = set(args.section) if getattr(args, "section", None) else set(REPORT_SECTIONS)
     print(f"events   : {summary['events']}")
     print(f"kinds    : {len(summary['by_kind'])}")
-    if summary["cycles"]:
+    if "cycles" in wanted and summary["cycles"]:
         print()
         print("cycle  requests  matched  rejected  preemptions")
         for row in summary["cycles"]:
@@ -309,15 +320,21 @@ def cmd_obs_report(args) -> int:
                     **{k: ("?" if v is None else v) for k, v in row.items()}
                 )
             )
-    if summary["top_rejections"]:
+    if "rejections" in wanted and summary["top_rejections"]:
         print()
         print("top rejection reasons:")
         for item in summary["top_rejections"]:
             print(f"  [{item['count']:5d}×] {item['reason']}")
-    print()
-    print("events by kind:")
-    for kind, count in summary["by_kind"].items():
-        print(f"  {kind:<24} {count}")
+    if "robustness" in wanted and summary.get("robustness"):
+        print()
+        print("robustness (network + retry/lease accounting):")
+        for key, value in summary["robustness"].items():
+            print(f"  {key:<24} {value}")
+    if "kinds" in wanted:
+        print()
+        print("events by kind:")
+        for kind, count in summary["by_kind"].items():
+            print(f"  {kind:<24} {count}")
     return 0
 
 
@@ -428,6 +445,148 @@ def cmd_obs_export(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# lifecycle analytics: timeline / critical-path / latency over recorded runs
+
+
+def _load_trace(path: str):
+    from .obs.causal import TraceError, read_jsonl
+
+    try:
+        return read_jsonl(path)
+    except OSError as exc:
+        raise CliError(str(exc)) from exc
+    except TraceError as exc:
+        raise CliError(str(exc)) from exc
+
+
+def _load_series(path: str):
+    from .obs.timeseries import SeriesError, read_jsonl
+
+    try:
+        return read_jsonl(path)
+    except OSError as exc:
+        raise CliError(str(exc)) from exc
+    except SeriesError as exc:
+        raise CliError(str(exc)) from exc
+
+
+def _resolve_trace_id(spans, spec: str) -> str:
+    """Resolve a job spec (`<id>`, `<owner>.<id>`, or a full trace id)
+    against the trace ids present in a recorded stream."""
+    trace_ids = sorted({s.trace for s in spans})
+    if spec in trace_ids:
+        return spec
+    prefixed = f"job.{spec}"
+    if prefixed in trace_ids:
+        return prefixed
+    suffixed = [t for t in trace_ids if t.endswith(f".{spec}")]
+    if len(suffixed) == 1:
+        return suffixed[0]
+    if len(suffixed) > 1:
+        raise CliError(f"job {spec!r} is ambiguous: {', '.join(suffixed)}")
+    available = ", ".join(trace_ids) if trace_ids else "<none>"
+    raise CliError(f"no trace for job {spec!r}; recorded traces: {available}")
+
+
+def cmd_obs_timeline(args) -> int:
+    """Render one job's lifecycle timeline from a recorded event stream."""
+    from .obs.lifecycle import build_lifecycles, find_job, render_timeline
+
+    lifecycles = build_lifecycles(_load_events(args.file))
+    matches = find_job(lifecycles, args.job_id)
+    if not matches:
+        known = ", ".join(f"{o}.{j}" for o, j in sorted(lifecycles, key=str)) or "<none>"
+        raise CliError(f"no lifecycle for job {args.job_id!r}; recorded jobs: {known}")
+    if len(matches) > 1:
+        ambiguous = ", ".join(f"{lc.owner}.{lc.job_id}" for lc in matches)
+        raise CliError(f"job {args.job_id!r} is ambiguous: {ambiguous}")
+    print(render_timeline(matches[0]))
+    return 0
+
+
+def cmd_obs_critical_path(args) -> int:
+    """Render the causal critical path of one job from a trace stream."""
+    from .obs.lifecycle import critical_path, render_critical_path
+
+    spans = _load_trace(args.file)
+    trace_id = _resolve_trace_id(spans, args.job_id)
+    chain = critical_path(spans, trace_id)
+    if not chain:
+        raise CliError(f"trace {trace_id} has no spans")
+    print(render_critical_path(chain))
+    return 0
+
+
+def cmd_obs_latency(args) -> int:
+    """Per-phase dwell and end-to-end latency percentiles for a run."""
+    from .obs.lifecycle import build_lifecycles, latency_table, render_latency_table
+
+    table = latency_table(build_lifecycles(_load_events(args.file)))
+    if args.json:
+        print(json.dumps(table, indent=2, sort_keys=False))
+    else:
+        print(render_latency_table(table))
+    return 0
+
+
+def cmd_obs_pool(args) -> int:
+    """Render a recorded pool time series (`repro-series/1`)."""
+    from .obs.timeseries import render_header, render_row, render_table
+
+    if not args.watch:
+        print(render_table(_load_series(args.file), limit=args.limit))
+        return 0
+
+    # --watch: follow the file, streaming one row per new sample.  The
+    # writer flushes per sample, so a live `repro chaos --series` run can
+    # be observed from another terminal.
+    import time as _time
+
+    from .obs.timeseries import SERIES_SCHEMA, Sample, SeriesError
+
+    try:
+        handle = open(args.file)
+    except OSError as exc:
+        raise CliError(str(exc)) from exc
+    with handle:
+        header = handle.readline()
+        try:
+            if json.loads(header).get("schema") != SERIES_SCHEMA:
+                raise CliError(f"{args.file}: not a {SERIES_SCHEMA} stream")
+        except (json.JSONDecodeError, AttributeError) as exc:
+            raise CliError(f"{args.file}: not a {SERIES_SCHEMA} stream") from exc
+        from .obs.timeseries import validate_record
+
+        print(render_header())
+        try:
+            while True:
+                position = handle.tell()
+                line = handle.readline()
+                if not line or not line.endswith("\n"):
+                    # Nothing new, or a partial line mid-write: rewind
+                    # past it and poll again.
+                    handle.seek(position)
+                    _time.sleep(args.interval)
+                    continue
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    validate_record(record)
+                except (json.JSONDecodeError, SeriesError) as exc:
+                    raise CliError(f"{args.file}: {exc}") from exc
+                print(
+                    render_row(
+                        Sample(record["seq"], record["t"], record.get("fields", {}))
+                    ),
+                    flush=True,
+                )
+        except (KeyboardInterrupt, BrokenPipeError):
+            return 0
+
+
+# ---------------------------------------------------------------------------
 # the `chaos` command: run a pool under a fault-injection profile
 
 
@@ -438,16 +597,27 @@ def cmd_chaos(args) -> int:
 
     from . import obs
     from .condor import CondorPool, Job, MachineSpec, PoolConfig
-    from .protocols import set_retries
+    from .protocols import reset_message_ids, set_retries
     from .sim.chaos import chaos_profile
 
     plan = chaos_profile(args.profile, horizon=args.horizon)
     if args.seed is not None:
         plan = dataclasses.replace(plan, seed=args.seed)
 
-    obs.enable(events=True)
+    # Fresh recording: restart sequence/span/match-id/cycle numbering and
+    # zero the counters so same-seed runs produce bitwise-identical streams.
+    from .matchmaking.matchmaker import reset_cycle_ids
+
+    obs.reset()
+    reset_message_ids()
+    reset_cycle_ids()
+    obs.enable(events=True, causal=bool(args.trace), timeseries=bool(args.series))
     if args.out:
         obs.event_log.open_file(args.out)
+    if args.trace:
+        obs.causal_log.open_file(args.trace)
+    if args.series:
+        obs.series.open_file(args.series)
     if args.no_retry:
         set_retries(False)
     try:
@@ -479,6 +649,31 @@ def cmd_chaos(args) -> int:
         )
         done = len(pool.completed_jobs())
         stats = pool.net.stats
+        # Close the recorded run with the PR 5 robustness counters so
+        # `repro obs report --section robustness` has data to fold in.
+        totals = obs.metrics.totals()
+        obs.event_log.emit(
+            "run.stats",
+            t=finished_at,
+            delivered=stats.delivered,
+            dropped_loss=stats.dropped_loss,
+            dropped_partition=stats.dropped_partition,
+            duplicated=stats.duplicated,
+            dropped_down=stats.dropped_down,
+            **{
+                key.replace(".", "_"): totals[key]
+                for key in (
+                    "retries.sent",
+                    "retries.exhausted",
+                    "leases.renewed",
+                    "leases.expired",
+                    "schedd.leases_lost",
+                    "schedd.duplicate_matches",
+                    "machine.duplicate_claims",
+                )
+                if key in totals
+            },
+        )
         print(f"profile   : {plan.name} (seed {plan.seed})")
         print(f"jobs      : {done}/{len(jobs)} completed at t={finished_at:.0f}")
         print(
@@ -489,11 +684,17 @@ def cmd_chaos(args) -> int:
         )
         if args.out:
             print(f"events    : {args.out}")
+        if args.trace:
+            print(f"trace     : {args.trace}")
+        if args.series:
+            print(f"series    : {args.series}")
         return 0 if done == len(jobs) else 1
     finally:
         if args.no_retry:
             set_retries(None)
         obs.event_log.close_file()
+        obs.causal_log.close_file()
+        obs.series.close_file()
         obs.disable()
 
 
@@ -555,6 +756,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = obs_sub.add_parser("report", help="per-cycle summary of a recorded run")
     p.add_argument("file", help="repro-events/1 JSONL file")
+    p.add_argument(
+        "--section",
+        action="append",
+        choices=REPORT_SECTIONS,
+        help="only these sections (repeatable; default: all)",
+    )
     p.set_defaults(func=cmd_obs_report)
 
     p = obs_sub.add_parser("why", help="explain one job's rejections")
@@ -582,11 +789,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write summary here instead of stdout")
     p.set_defaults(func=cmd_obs_export)
 
+    p = obs_sub.add_parser("timeline", help="one job's lifecycle timeline")
+    p.add_argument("job_id", help="job id, or owner.job-id when ids collide")
+    p.add_argument("file", help="repro-events/1 JSONL file")
+    p.set_defaults(func=cmd_obs_timeline)
+
+    p = obs_sub.add_parser("critical-path", help="causal critical path of one job")
+    p.add_argument("job_id", help="job id, owner.job-id, or full trace id")
+    p.add_argument("file", help="repro-trace/1 JSONL file")
+    p.set_defaults(func=cmd_obs_critical_path)
+
+    p = obs_sub.add_parser("latency", help="per-phase dwell and latency percentiles")
+    p.add_argument("file", help="repro-events/1 JSONL file")
+    p.add_argument("--json", action="store_true", help="emit repro-latency/1 JSON")
+    p.set_defaults(func=cmd_obs_latency)
+
+    p = obs_sub.add_parser("pool", help="pool health time series (repro-series/1)")
+    p.add_argument("file", help="repro-series/1 JSONL file")
+    p.add_argument("--limit", type=int, help="only the last N samples")
+    p.add_argument("--watch", action="store_true", help="follow a live series file")
+    p.add_argument(
+        "--interval", type=float, default=0.5, help="poll interval for --watch (s)"
+    )
+    p.set_defaults(func=cmd_obs_pool)
+
     from .sim.chaos import PROFILES
 
     p = sub.add_parser("chaos", help="run a pool under a fault-injection profile")
     p.add_argument("profile", choices=PROFILES)
     p.add_argument("--out", help="record a repro-events/1 log here")
+    p.add_argument("--trace", help="record a repro-trace/1 causal trace here")
+    p.add_argument("--series", help="record a repro-series/1 pool series here")
     p.add_argument("--seed", type=int, help="override the profile's seed")
     p.add_argument("--machines", type=int, default=6)
     p.add_argument("--jobs", type=int, default=16)

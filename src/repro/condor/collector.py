@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from ..classads import ClassAd
 from ..matchmaking import MaintainedIndex, select
 from ..obs import event_log as _events, metrics as _metrics
+from ..obs.causal import TraceContext, causal_log as _causal
 from ..protocols import AdStore, Advertisement, Withdrawal, validate_ad
 from ..sim import Network, Simulator, Trace
 
@@ -60,6 +61,11 @@ class Collector:
         # negotiator request, then delta-updated by the advertising
         # traffic instead of being rebuilt from the store every cycle.
         self._mindex: Optional[MaintainedIndex] = None
+        # Causal context of each admitted ad (the recv span of the
+        # advertisement that produced it) — the negotiator parents its
+        # match notifications here, stitching the job's trace across
+        # the store.  Dropped with the ad (withdraw/expiry/crash).
+        self._ad_ctx: Dict[str, TraceContext] = {}
         net.register(self.address, self._on_message)
         sim.every(expire_interval, self._expire)
 
@@ -70,6 +76,7 @@ class Collector:
             self._on_advertisement(message)
         elif isinstance(message, Withdrawal):
             self.store.remove(message.name)
+            self._ad_ctx.pop(message.name, None)
             if self._mindex is not None:
                 self._mindex.withdraw(message.name)
 
@@ -96,6 +103,10 @@ class Collector:
         )
         if admitted:
             self.ads_admitted += 1
+            if _causal.enabled:
+                ctx = _causal.current()
+                if ctx is not None:
+                    self._ad_ctx[message.name] = ctx
             _COL_ADMITTED.inc()
             _COL_STORE_SIZE.set(len(self.store))
             if self._mindex is not None and not self._mindex.advertise(
@@ -117,6 +128,7 @@ class Collector:
         expired = self.store.expire(self.sim.now)
         for name in expired:
             self.trace.emit(self.sim.now, "ad-expired", name=name)
+            self._ad_ctx.pop(name, None)
             if self._mindex is not None:
                 self._mindex.withdraw(name)
         if expired and _metrics.enabled:
@@ -157,6 +169,35 @@ class Collector:
             ads.sort(key=_job_order_key)
         return dict(grouped)
 
+    def ad_context(self, name: str) -> Optional[TraceContext]:
+        """Causal context of the admitted ad *name* (None if untraced)."""
+        return self._ad_ctx.get(name)
+
+    def sample_pool(self, **cycle_fields) -> None:
+        """One pool-health observation into the global time series
+        (:mod:`repro.obs.timeseries`); the negotiator calls this after
+        every cycle, passing that cycle's match figures."""
+        from ..obs.timeseries import series as _series
+
+        if not _series.enabled:
+            return
+        by_state: Dict[str, int] = {}
+        machines = self.machine_ads()
+        for ad in machines:
+            state = ad.evaluate("State")
+            key = state.lower() if isinstance(state, str) else "unknown"
+            by_state[key] = by_state.get(key, 0) + 1
+        _series.sample(
+            t=self.sim.now,
+            machines=len(machines),
+            owner=by_state.get("owner", 0),
+            unclaimed=by_state.get("unclaimed", 0),
+            claimed=by_state.get("claimed", 0),
+            jobs_idle=len(self.job_ads()),
+            store_size=len(self.store),
+            **cycle_fields,
+        )
+
     def query(self, constraint: str) -> List[ClassAd]:
         """One-way matching over everything stored (status tools)."""
         return select(self.store.ads(), constraint)
@@ -174,6 +215,7 @@ class Collector:
         """Lose all soft state and stop receiving (experiment E1)."""
         self.net.set_down(self.address)
         self.store.clear()
+        self._ad_ctx.clear()
         if self._mindex is not None:
             self._mindex.clear()
         self.trace.emit(self.sim.now, "collector-crash")

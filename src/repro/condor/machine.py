@@ -32,6 +32,7 @@ from typing import Callable, Dict, Optional
 from ..classads import ClassAd, rank_value
 from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy, constraints_satisfied
 from ..obs import event_log as _events, metrics as _metrics
+from ..obs.causal import TraceContext, causal_log as _causal
 from ..protocols import (
     Advertisement,
     BackoffPolicy,
@@ -123,6 +124,10 @@ class _Claim:
     completion_handle: object = None
     last_alive: float = 0.0
     lease_expires: float = float("inf")
+    #: Causal context of the accepted claim request; timer-fired
+    #: completion/eviction notices parent on it so the teardown stays
+    #: inside the job's trace.
+    ctx: Optional[TraceContext] = None
 
 
 class MachineAgent:
@@ -538,6 +543,7 @@ class MachineAgent:
             rank=rank,
             started_at=self.sim.now,
             wants_checkpoint=wants_checkpoint,
+            ctx=_causal.current(),
         )
         wall_time = remaining * REFERENCE_MIPS / self.spec.mips
         claim.completion_handle = self.sim.schedule(wall_time, self._complete)
@@ -616,15 +622,16 @@ class MachineAgent:
         self.trace.emit(
             self.sim.now, "job-completed", machine=self.spec.name, job=claim.job_id
         )
-        self._send_reliably(
-            JobCompleted(
-                sender=self.address,
-                recipient=claim.customer_address,
-                match_id=claim.match_id,
-                job_id=claim.job_id,
-                work_done=self._work_done(claim),
+        with _causal.activate(claim.ctx if _causal.enabled else None):
+            self._send_reliably(
+                JobCompleted(
+                    sender=self.address,
+                    recipient=claim.customer_address,
+                    match_id=claim.match_id,
+                    job_id=claim.job_id,
+                    work_done=self._work_done(claim),
+                )
             )
-        )
         if self.on_claim_ended is not None:
             self.on_claim_ended(str(claim.job_ad.evaluate("Owner")), self.spec.name)
         if not self.owner_active:
@@ -651,17 +658,18 @@ class MachineAgent:
             reason=reason,
             checkpointed=checkpointed,
         )
-        self._send_reliably(
-            JobEvicted(
-                sender=self.address,
-                recipient=claim.customer_address,
-                match_id=claim.match_id,
-                job_id=claim.job_id,
-                reason=reason,
-                checkpointed=checkpointed,
-                work_done=self._work_done(claim),
+        with _causal.activate(claim.ctx if _causal.enabled else None):
+            self._send_reliably(
+                JobEvicted(
+                    sender=self.address,
+                    recipient=claim.customer_address,
+                    match_id=claim.match_id,
+                    job_id=claim.job_id,
+                    reason=reason,
+                    checkpointed=checkpointed,
+                    work_done=self._work_done(claim),
+                )
             )
-        )
         if self.on_claim_ended is not None:
             self.on_claim_ended(str(claim.job_ad.evaluate("Owner")), self.spec.name)
 

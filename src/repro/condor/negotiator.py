@@ -23,6 +23,7 @@ from ..matchmaking import Accountant, Assignment, CycleStats, negotiation_cycle
 from ..matchmaking.index import ProviderIndex
 from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy
 from ..obs import metrics as _metrics, tracer as _tracer
+from ..obs.causal import causal_log as _causal
 from ..protocols import BackoffPolicy, Retransmitter, build_notifications
 from ..sim import Network, Simulator, Trace
 from .collector import Collector
@@ -139,6 +140,17 @@ class Negotiator:
         )
         for assignment in assignments:
             self._notify(assignment)
+        self.collector.sample_pool(
+            cycle=self.cycles_run,
+            matched=len(assignments),
+            requests=stats.requests_considered,
+            match_rate=(
+                len(assignments) / stats.requests_considered
+                if stats.requests_considered
+                else 0.0
+            ),
+            preemptions=stats.preemptions,
+        )
         return assignments
 
     def _notify(self, assignment: Assignment) -> None:
@@ -155,16 +167,36 @@ class Negotiator:
             _NEG_NOTIFY_FAILURES.inc()
             self.trace.emit(self.sim.now, "notify-failed", submitter=assignment.submitter)
             return
+        job_id = assignment.request.evaluate("JobId")
         self.trace.emit(
             self.sim.now,
             "match",
             submitter=assignment.submitter,
-            job=assignment.request.evaluate("JobId"),
+            job=job_id,
             machine=assignment.provider.evaluate("Name"),
             preempts=assignment.preempts,
         )
-        self._notify_retx.send(to_customer)
-        self._notify_retx.send(to_provider)
+        ctx = None
+        if _causal.enabled:
+            # Stitch the negotiation decision into the job's trace: the
+            # match span parents on the stored job ad's delivery context
+            # (the recv span of the advertisement that got matched), and
+            # both notifications descend from the match span.
+            parent = self.collector.ad_context(
+                f"job.{assignment.submitter}.{job_id}"
+            )
+            if parent is not None:
+                ctx = _causal.span(
+                    "negotiate.match",
+                    parent=parent,
+                    submitter=assignment.submitter,
+                    job=job_id,
+                    machine=to_customer.peer_address,
+                    match=to_customer.match_id,
+                )
+        with _causal.activate(ctx):
+            self._notify_retx.send(to_customer)
+            self._notify_retx.send(to_provider)
 
     # -- failure injection ----------------------------------------------------
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..classads import ClassAd
 from ..obs import metrics as _metrics, tracer as _tracer
+from ..obs.causal import TraceContext, causal_log as _causal, job_trace_id
 from ..protocols import (
     Advertisement,
     BackoffPolicy,
@@ -87,6 +88,9 @@ class _ActiveClaim:
     provider_address: str
     lease_duration: Optional[float]
     last_ack: float
+    #: Causal context of the claim acceptance; timer-fired lease
+    #: renewals parent on it so they stay inside the job's trace.
+    ctx: Optional[TraceContext] = None
 
 
 class CustomerAgent:
@@ -132,6 +136,8 @@ class CustomerAgent:
         self._active: Dict[int, _ActiveClaim] = {}
         # match notifications already acted on (retransmit suppression)
         self._seen_matches: OrderedDict = OrderedDict()
+        # per-job causal root contexts (timer-fired sends re-enter here)
+        self._job_ctx: Dict[int, TraceContext] = {}
         # collectors each job's ad has been sent to (for withdrawal)
         self._advertised_to: Dict[int, set] = {}
         self._sequence = 0
@@ -190,13 +196,14 @@ class CustomerAgent:
             ):
                 self._lease_lost(match_id)
                 continue
-            self.net.send(
-                KeepAlive(
-                    sender=self.address,
-                    recipient=active.provider_address,
-                    match_id=match_id,
+            with _causal.activate(active.ctx if _causal.enabled else None):
+                self.net.send(
+                    KeepAlive(
+                        sender=self.address,
+                        recipient=active.provider_address,
+                        match_id=match_id,
+                    )
                 )
-            )
 
     def _lease_lost(self, match_id: int) -> None:
         """The provider is gone (lease acks stopped or were NACKed):
@@ -221,6 +228,14 @@ class CustomerAgent:
 
     # -- queue management ------------------------------------------------
 
+    def _job_causal(self, job_id: int) -> Optional[TraceContext]:
+        """Fallback causal context for timer-fired sends about *job_id*:
+        the job's root span, unless a recv span is already active (in
+        which case activating nothing keeps the tighter parent)."""
+        if _causal.enabled and _causal.current() is None:
+            return self._job_ctx.get(job_id)
+        return None
+
     def submit(self, job: Job) -> None:
         """Enqueue *job* and advertise it immediately."""
         job.submit_time = self.sim.now
@@ -228,7 +243,18 @@ class CustomerAgent:
         self.jobs[job.job_id] = job
         self.metrics.jobs_submitted += 1
         _CA_SUBMITTED.inc()
-        self.trace.emit(self.sim.now, "job-submitted", owner=self.owner, job=job.job_id)
+        extra = {}
+        if _causal.enabled:
+            # The whole lifecycle of this job shares one deterministic
+            # trace id; every message it causes descends from this root.
+            trace_id = job_trace_id(self.owner, job.job_id)
+            self._job_ctx[job.job_id] = _causal.start_trace(
+                trace_id, "job.submit", owner=self.owner, job=job.job_id
+            )
+            extra["trace"] = trace_id
+        self.trace.emit(
+            self.sim.now, "job-submitted", owner=self.owner, job=job.job_id, **extra
+        )
         self._advertise_job(job)
 
     def idle_jobs(self) -> List[Job]:
@@ -260,16 +286,18 @@ class CustomerAgent:
         if job.state is JobState.RUNNING and job.running_match_id is not None:
             active = self._active.pop(job.running_match_id, None)
             if active is not None:
-                self.net.send(
-                    ReleaseNotice(
-                        sender=self.address,
-                        recipient=active.provider_address,
-                        match_id=job.running_match_id,
+                with _causal.activate(self._job_causal(job.job_id)):
+                    self.net.send(
+                        ReleaseNotice(
+                            sender=self.address,
+                            recipient=active.provider_address,
+                            match_id=job.running_match_id,
+                        )
                     )
-                )
         else:
             self._withdraw_job(job)
         self._pending_jobs.discard(job.job_id)
+        self._job_ctx.pop(job.job_id, None)
         job.state = JobState.REMOVED
         job.running_on = None
         job.running_match_id = None
@@ -295,11 +323,12 @@ class CustomerAgent:
         # One blind extra copy, abandoned once the job stops being idle
         # (stale copies of older ads are dropped by the collector's
         # sequence check anyway).
-        self._ad_retx.send(
-            message,
-            stop_when=lambda: job.state is not JobState.IDLE
-            or job.job_id in self._pending_jobs,
-        )
+        with _causal.activate(self._job_causal(job.job_id)):
+            self._ad_retx.send(
+                message,
+                stop_when=lambda: job.state is not JobState.IDLE
+                or job.job_id in self._pending_jobs,
+            )
         self._advertised_to.setdefault(job.job_id, set()).add(collector)
         self.trace.emit(
             self.sim.now,
@@ -311,14 +340,17 @@ class CustomerAgent:
 
     def _withdraw_job(self, job: Job) -> None:
         """Withdraw the job's ad from every collector that received it."""
-        for collector in self._advertised_to.pop(job.job_id, {self.collector_address}):
-            self.net.send(
-                Withdrawal(
-                    sender=self.address,
-                    recipient=collector,
-                    name=self._ad_name(job),
+        with _causal.activate(self._job_causal(job.job_id)):
+            for collector in self._advertised_to.pop(
+                job.job_id, {self.collector_address}
+            ):
+                self.net.send(
+                    Withdrawal(
+                        sender=self.address,
+                        recipient=collector,
+                        name=self._ad_name(job),
+                    )
                 )
-            )
 
     def advertise_queue(self) -> None:
         """Refresh the request ads of every idle job.
@@ -467,6 +499,7 @@ class CustomerAgent:
             provider_address=pending.provider_address,
             lease_duration=response.lease_duration,
             last_ack=self.sim.now,
+            ctx=_causal.current(),
         )
         if job.first_start_time is None:
             job.first_start_time = self.sim.now
@@ -513,6 +546,7 @@ class CustomerAgent:
         job.completion_time = self.sim.now
         job.running_on = None
         job.running_match_id = None
+        self._job_ctx.pop(job.job_id, None)
         self.metrics.jobs_completed += 1
         self.metrics.goodput += message.work_done
         _CA_COMPLETED.inc()

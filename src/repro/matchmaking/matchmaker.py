@@ -91,6 +91,14 @@ _MM_CYCLE_SECONDS = _metrics.histogram(
 _CYCLE_IDS = itertools.count(1)
 
 
+def reset_cycle_ids() -> None:
+    """Restart cycle numbering at 1 (fresh recordings — ``repro chaos``
+    resets before each run so same-seed event streams are bitwise
+    identical)."""
+    global _CYCLE_IDS
+    _CYCLE_IDS = itertools.count(1)
+
+
 def _env_flag(name: str) -> bool:
     return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
 

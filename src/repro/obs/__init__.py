@@ -14,7 +14,13 @@ Three process-wide singletons carry all instrumentation:
 * :data:`tracer` — the global :class:`Tracer` for nested spans;
 * :data:`event_log` — the global :class:`EventLog`, the structured
   negotiation-forensics stream (``repro-events/1``; read back with the
-  ``repro obs`` CLI family).
+  ``repro obs`` CLI family);
+* :data:`causal_log` — the global :class:`CausalTracer`, the
+  cross-daemon causal trace stream (``repro-trace/1``): spans are
+  propagated through every protocol message, so "why did job J take
+  400 ticks" is answerable across daemon boundaries;
+* :data:`series` — the global :class:`SeriesStore`, the pool-health
+  time series (``repro-series/1``) sampled each negotiation cycle.
 
 All are **disabled by default**: every mutating call bails on one
 boolean check, so an uninstrumented run pays (nearly) nothing.  Turn
@@ -30,8 +36,10 @@ them on programmatically::
     obs.disable(); obs.reset()
 
 or from the environment before the process starts: ``REPRO_OBS=1``
-enables metrics, ``REPRO_OBS_TRACE=1`` additionally enables spans, and
-``REPRO_OBS_EVENTS=1`` additionally enables the event log.
+enables metrics, ``REPRO_OBS_TRACE=1`` additionally enables spans,
+``REPRO_OBS_EVENTS=1`` additionally enables the event log,
+``REPRO_OBS_CAUSAL=1`` the causal trace stream, and
+``REPRO_OBS_SERIES=1`` the pool time series.
 
 This package must stay import-cycle free: it is imported by the lowest
 layers (classads, sim), so it imports nothing from them.
@@ -42,9 +50,19 @@ from __future__ import annotations
 import os
 
 from . import export
+from .causal import (
+    TRACE_SCHEMA,
+    CausalTracer,
+    SpanRecord,
+    TraceContext,
+    TraceError,
+    causal_log,
+    job_trace_id,
+)
 from .events import EVENTS_SCHEMA, Event, EventLog, EventLogError, event_log
 from .invariants import InvariantReport, Violation, check_events
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, RunningStats
+from .timeseries import SERIES_SCHEMA, Sample, SeriesError, SeriesStore, series
 from .tracer import NULL_SPAN, Span, Tracer
 
 
@@ -63,14 +81,30 @@ tracer = Tracer(enabled=_env_flag("REPRO_OBS_TRACE"))
 if _env_flag("REPRO_OBS_EVENTS"):
     event_log.enable()
 
+if _env_flag("REPRO_OBS_CAUSAL"):
+    causal_log.enable()
 
-def enable(trace: bool = False, events: bool = False) -> None:
-    """Turn on global metrics collection (and optionally spans/events)."""
+if _env_flag("REPRO_OBS_SERIES"):
+    series.enable()
+
+
+def enable(
+    trace: bool = False,
+    events: bool = False,
+    causal: bool = False,
+    timeseries: bool = False,
+) -> None:
+    """Turn on global metrics collection (and optionally spans/events/
+    causal traces/the pool time series)."""
     metrics.enable()
     if trace:
         tracer.enable()
     if events:
         event_log.enable()
+    if causal:
+        causal_log.enable()
+    if timeseries:
+        series.enable()
 
 
 def disable() -> None:
@@ -78,6 +112,8 @@ def disable() -> None:
     metrics.disable()
     tracer.disable()
     event_log.disable()
+    causal_log.disable()
+    series.disable()
 
 
 def is_enabled() -> bool:
@@ -89,9 +125,12 @@ def reset() -> None:
     metrics.reset()
     tracer.reset()
     event_log.reset()
+    causal_log.reset()
+    series.reset()
 
 
 __all__ = [
+    "CausalTracer",
     "Counter",
     "EVENTS_SCHEMA",
     "Event",
@@ -103,16 +142,27 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "RunningStats",
+    "SERIES_SCHEMA",
+    "Sample",
+    "SeriesError",
+    "SeriesStore",
     "Span",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "TraceContext",
+    "TraceError",
     "Tracer",
     "Violation",
+    "causal_log",
     "check_events",
     "disable",
     "enable",
     "event_log",
     "export",
     "is_enabled",
+    "job_trace_id",
     "metrics",
     "reset",
+    "series",
     "tracer",
 ]

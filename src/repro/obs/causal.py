@@ -1,0 +1,370 @@
+"""Cross-daemon causal tracing — the ``repro-trace/1`` stream.
+
+The in-process :mod:`repro.obs.tracer` answers "where did the
+wall-clock go inside one call stack"; this module answers "*what chain
+of messages* got job 17 from submit to completion" — causality across
+daemon boundaries, in the style of Dapper/X-Trace but deterministic.
+
+Mechanics:
+
+* a :class:`TraceContext` is an immutable ``(trace_id, span_id,
+  parent_id)`` triple.  Trace ids are **derived, never random**: a
+  job's whole lifecycle shares ``job.<owner>.<job-id>``, so a run at a
+  fixed seed produces a bitwise-identical trace stream;
+* the process-wide :data:`causal_log` records spans into a bounded
+  ring and an optional ``repro-trace/1`` JSONL sink, with the same
+  off-by-default one-boolean fast path as the event log;
+* the simulated network injects a ``send`` span into every outbound
+  message that doesn't already carry one (retransmitted or
+  chaos-duplicated messages re-send the *same* frozen message object,
+  so all copies share the originating span), and activates a ``recv``
+  span around the recipient's handler — any message the handler sends
+  in turn becomes a causal child, which is how the DAG crosses daemon
+  boundaries;
+* daemons stitch the gaps the network cannot see: the collector
+  remembers the delivery context of each admitted ad, the negotiator
+  parents its match notifications on the matched job ad's context, and
+  the machine parents its completion/eviction notices on the claim
+  that started the job.
+
+Span ids come from a plain per-log counter (reset with the log), so
+they are deterministic too.  Activation state is a module-level stack:
+the simulator is single-threaded, so dynamic extent *is* causal extent.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO
+
+import time as _time
+
+TRACE_SCHEMA = "repro-trace/1"
+
+#: Keys every serialized span record carries (``parent`` may be null).
+SPAN_KEYS = ("span", "t", "trace", "name")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """An immutable causal coordinate carried by protocol messages."""
+
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace": self.trace_id, "span": self.span_id, "parent": self.parent_id}
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One recorded span: a point on the causal DAG of a trace."""
+
+    span: int
+    t: float
+    trace: str
+    name: str
+    parent: Optional[int]
+    fields: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span": self.span,
+            "t": self.t,
+            "trace": self.trace,
+            "name": self.name,
+            "parent": self.parent,
+            "fields": dict(self.fields),
+        }
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        parent = "-" if self.parent is None else str(self.parent)
+        return (
+            f"[{self.t:12.3f}] span={self.span:<6d} parent={parent:<6s} "
+            f"{self.trace:<24} {self.name:<28} {details}".rstrip()
+        )
+
+
+class TraceError(Exception):
+    """A recorded span stream failed ``repro-trace/1`` validation."""
+
+
+class _Activation:
+    """Context manager deactivating a pushed context on exit."""
+
+    __slots__ = ("_log",)
+
+    def __init__(self, log: "CausalTracer"):
+        self._log = log
+
+    def __enter__(self) -> "_Activation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._log._stack.pop()
+
+
+class _NullActivation:
+    """No-op stand-in returned while the tracer is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullActivation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_ACTIVATION = _NullActivation()
+
+
+class CausalTracer:
+    """The process-wide causal span log (ring + optional file sink).
+
+    Mirrors :class:`repro.obs.events.EventLog` exactly: disabled by
+    default, every mutating call bails on ``self.enabled``, bounded
+    ring, streaming JSONL sink with a schema header line.
+    """
+
+    __slots__ = (
+        "enabled",
+        "capacity",
+        "_ring",
+        "_ids",
+        "_stack",
+        "_sink",
+        "_sink_path",
+        "clock",
+    )
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = 65536):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._ids = 0
+        self._stack: List[TraceContext] = []
+        self._sink: Optional[TextIO] = None
+        self._sink_path: Optional[str] = None
+        self.clock: Callable[[], float] = _time.time
+
+    # -- switches ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop recorded spans and restart span numbering; sinks stay open."""
+        self._ring.clear()
+        self._ids = 0
+        self._stack.clear()
+        self.clock = _time.time
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+
+    # -- sinks ------------------------------------------------------------
+
+    def open_file(self, path: str) -> str:
+        """Stream every subsequent span to *path* as JSON lines."""
+        self.close_file()
+        self._sink = open(path, "w")
+        self._sink_path = path
+        json.dump({"schema": TRACE_SCHEMA}, self._sink)
+        self._sink.write("\n")
+        return path
+
+    def close_file(self) -> Optional[str]:
+        path = self._sink_path
+        if self._sink is not None:
+            self._sink.close()
+        self._sink = None
+        self._sink_path = None
+        return path
+
+    @property
+    def sink_path(self) -> Optional[str]:
+        return self._sink_path
+
+    # -- context ----------------------------------------------------------
+
+    def current(self) -> Optional[TraceContext]:
+        """The active context, or ``None`` outside any activation."""
+        return self._stack[-1] if self._stack else None
+
+    def activate(self, ctx: Optional[TraceContext]):
+        """Make *ctx* the active context for a ``with`` block.
+
+        ``None`` contexts (message predates tracing, or tracing is off)
+        activate nothing — the null manager costs one attribute check.
+        """
+        if not self.enabled or ctx is None:
+            return _NULL_ACTIVATION
+        self._stack.append(ctx)
+        return _Activation(self)
+
+    # -- recording --------------------------------------------------------
+
+    def start_trace(self, trace_id: str, name: str, **fields: Any) -> Optional[TraceContext]:
+        """Open a new root span for *trace_id*; returns its context
+        (``None`` while disabled)."""
+        if not self.enabled:
+            return None
+        return self.span(name, parent=TraceContext(trace_id, 0, None), root=True, **fields)
+
+    def span(
+        self,
+        name: str,
+        parent: Optional[TraceContext] = None,
+        root: bool = False,
+        **fields: Any,
+    ) -> Optional[TraceContext]:
+        """Record one span and return its context (``None`` while disabled).
+
+        *parent* supplies the trace id; a root span records no parent
+        link.  With no parent and no active context the span is dropped
+        — orphan spans are a bug, not data.
+        """
+        if not self.enabled:
+            return None
+        if parent is None:
+            parent = self.current()
+            if parent is None:
+                return None
+        self._ids += 1
+        ctx = TraceContext(parent.trace_id, self._ids, None if root else parent.span_id)
+        record = SpanRecord(
+            ctx.span_id, self.clock(), ctx.trace_id, name, ctx.parent_id, fields
+        )
+        self._ring.append(record)
+        if self._sink is not None:
+            json.dump(record.to_dict(), self._sink, default=str)
+            self._sink.write("\n")
+        return ctx
+
+    # -- queries (over the in-memory ring) --------------------------------
+
+    def spans(self) -> List[SpanRecord]:
+        return list(self._ring)
+
+    def of_trace(self, trace_id: str) -> List[SpanRecord]:
+        return [s for s in self._ring if s.trace == trace_id]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self._ring)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        spans = self.spans()
+        if limit is not None:
+            spans = spans[-limit:]
+        return "\n".join(str(s) for s in spans)
+
+
+#: The process-wide causal tracer.  Stays disabled (and therefore free)
+#: until someone turns it on — see :func:`repro.obs.enable`.
+causal_log = CausalTracer(enabled=False)
+
+
+def job_trace_id(owner: str, job_id: Any) -> str:
+    """The deterministic trace id grouping one job's whole lifecycle."""
+    return f"job.{owner}.{job_id}"
+
+
+# ---------------------------------------------------------------------------
+# serialization: repro-trace/1 JSONL
+
+
+def validate_record(record: Dict[str, Any]) -> None:
+    """Raise :class:`TraceError` unless *record* is a valid span row."""
+    if not isinstance(record, dict):
+        raise TraceError(f"span record must be an object, got {type(record).__name__}")
+    for key in SPAN_KEYS:
+        if key not in record:
+            raise TraceError(f"span record missing {key!r}: {record}")
+    if not isinstance(record["span"], int):
+        raise TraceError(f"span must be an integer: {record}")
+    if not isinstance(record["t"], (int, float)) or isinstance(record["t"], bool):
+        raise TraceError(f"t must be a number: {record}")
+    if not isinstance(record["trace"], str) or not record["trace"]:
+        raise TraceError(f"trace must be a non-empty string: {record}")
+    if not isinstance(record["name"], str) or not record["name"]:
+        raise TraceError(f"name must be a non-empty string: {record}")
+    parent = record.get("parent")
+    if parent is not None and not isinstance(parent, int):
+        raise TraceError(f"parent must be an integer or null: {record}")
+    if not isinstance(record.get("fields", {}), dict):
+        raise TraceError(f"fields must be an object: {record}")
+
+
+def read_jsonl(path: str) -> List[SpanRecord]:
+    """Load and validate a ``repro-trace/1`` JSONL file."""
+    spans: List[SpanRecord] = []
+    with open(path) as handle:
+        first = handle.readline()
+        if not first.strip():
+            raise TraceError(f"{path}: empty trace stream")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}:1: not JSON: {exc}") from exc
+        if not isinstance(header, dict) or header.get("schema") != TRACE_SCHEMA:
+            raise TraceError(
+                f"{path}:1: expected {{'schema': '{TRACE_SCHEMA}'}} header, got {first.strip()!r}"
+            )
+        for number, line in enumerate(handle, 2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{number}: not JSON: {exc}") from exc
+            try:
+                validate_record(record)
+            except TraceError as exc:
+                raise TraceError(f"{path}:{number}: {exc}") from exc
+            spans.append(
+                SpanRecord(
+                    record["span"],
+                    record["t"],
+                    record["trace"],
+                    record["name"],
+                    record.get("parent"),
+                    record.get("fields", {}),
+                )
+            )
+    return spans
+
+
+def check_dag(spans: List[SpanRecord]) -> Dict[str, List[SpanRecord]]:
+    """Group *spans* by trace and verify each trace is one connected DAG.
+
+    Raises :class:`TraceError` on an orphan span (a non-root parent link
+    pointing outside the trace) or a trace with no root.  Returns the
+    per-trace grouping for further analysis.
+    """
+    by_trace: Dict[str, List[SpanRecord]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace, []).append(span)
+    for trace_id, members in by_trace.items():
+        ids = {s.span for s in members}
+        roots = [s for s in members if s.parent is None]
+        if not roots:
+            raise TraceError(f"trace {trace_id!r} has no root span")
+        for span in members:
+            if span.parent is not None and span.parent not in ids:
+                raise TraceError(
+                    f"trace {trace_id!r}: span {span.span} ({span.name}) has "
+                    f"orphan parent {span.parent}"
+                )
+    return by_trace

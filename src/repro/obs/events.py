@@ -300,6 +300,13 @@ def summarize(events: Iterable[Event]) -> Dict[str, Any]:
             else:
                 key = str(e.fields.get("reason", "?"))
             reasons[key] += 1
+    # Robustness accounting (PR 5 counters): recorded runs close with a
+    # ``run.stats`` event carrying the network and retry/lease totals.
+    robustness: Optional[Dict[str, Any]] = None
+    for e in reversed(events):
+        if e.kind == "run.stats":
+            robustness = dict(e.fields)
+            break
     return {
         "schema": "repro-events-summary/1",
         "events": len(events),
@@ -308,4 +315,5 @@ def summarize(events: Iterable[Event]) -> Dict[str, Any]:
         "top_rejections": [
             {"reason": reason, "count": count} for reason, count in reasons.most_common(20)
         ],
+        "robustness": robustness,
     }

@@ -42,15 +42,32 @@ __all__ = ["Violation", "InvariantReport", "check_events"]
 
 @dataclass(frozen=True)
 class Violation:
-    """One invariant breach, anchored to the event that revealed it."""
+    """One invariant breach, anchored to the event that revealed it.
+
+    Beyond the human-readable ``detail``, a violation carries machine-
+    consumable anchors so tooling can pivot straight from an audit
+    failure to the offending job (``job``, as ``owner.job-id``), the
+    match that caused it (``match``), and — when the run was recorded
+    with causal tracing on — the job's ``repro-trace/1`` trace id
+    (``trace``), ready for ``repro obs critical-path``.
+    """
 
     invariant: str
     detail: str
     seq: int
     t: float
+    job: Optional[str] = None
+    match: Any = None
+    trace: Optional[str] = None
 
     def __str__(self) -> str:
-        return f"[{self.t:12.3f}] #{self.seq:<6d} {self.invariant}: {self.detail}"
+        anchors = " ".join(
+            f"{name}={value}"
+            for name, value in (("job", self.job), ("match", self.match), ("trace", self.trace))
+            if value is not None
+        )
+        base = f"[{self.t:12.3f}] #{self.seq:<6d} {self.invariant}: {self.detail}"
+        return f"{base}  [{anchors}]" if anchors else base
 
 
 @dataclass
@@ -108,6 +125,22 @@ def check_events(
     job_claims: Dict[Tuple[Any, Any], Tuple[int, float, Any]] = {}
     submitted: Dict[Tuple[Any, Any], float] = {}
     finished: Dict[Tuple[Any, Any], str] = {}
+    # Anchor tables: (owner, job) -> trace id (recorded with tracing on),
+    # and match id -> (owner, job) (machine-side events carry no owner).
+    traces: Dict[Tuple[Any, Any], str] = {}
+    match_to_key: Dict[Any, Tuple[Any, Any]] = {}
+
+    def anchor(
+        match: Any = None, key: Optional[Tuple[Any, Any]] = None
+    ) -> Dict[str, Any]:
+        """Job/match/trace anchors for a Violation, best effort."""
+        if key is None and match is not None:
+            key = match_to_key.get(match)
+        return {
+            "job": f"{key[0]}.{key[1]}" if key is not None else None,
+            "match": match,
+            "trace": traces.get(key) if key is not None else None,
+        }
 
     counts = {
         "events": 0,
@@ -124,6 +157,11 @@ def check_events(
         kind = event.kind
         fields = event.fields
 
+        if kind == "match-notified-customer":
+            key = _job_key(fields)
+            if key is not None and fields.get("match") is not None:
+                match_to_key[fields["match"]] = key
+
         if kind == "claim-response" and fields.get("accepted"):
             machine = fields.get("machine")
             counts["machine_claims"] += 1
@@ -138,6 +176,7 @@ def check_events(
                         f"at t={open_claim[1]:.3f}) was still running",
                         event.seq,
                         event.t,
+                        **anchor(match=fields.get("match")),
                     )
                 )
             machine_claims[machine] = (
@@ -165,6 +204,7 @@ def check_events(
                             f"t={open_claim[1]:.3f}) was still active",
                             event.seq,
                             event.t,
+                            **anchor(match=fields.get("match"), key=key),
                         )
                     )
                 job_claims[key] = (event.seq, event.t, fields.get("match"))
@@ -178,6 +218,8 @@ def check_events(
             if key is not None:
                 counts["jobs_submitted"] += 1
                 submitted[key] = event.t
+                if fields.get("trace"):
+                    traces[key] = fields["trace"]
         elif kind in _JOB_ENDS:
             key = _job_key(fields)
             if key is not None:
@@ -189,6 +231,7 @@ def check_events(
                             f"({finished[key]} then {kind})",
                             event.seq,
                             event.t,
+                            **anchor(key=key),
                         )
                     )
                 else:
@@ -198,8 +241,8 @@ def check_events(
     end_seq = counts["events"]
     end_t = 0.0
 
-    def loose_end(invariant: str, detail: str) -> None:
-        entry = Violation(invariant, detail, end_seq, end_t)
+    def loose_end(invariant: str, detail: str, **anchors: Any) -> None:
+        entry = Violation(invariant, detail, end_seq, end_t, **anchors)
         (report.violations if require_complete else report.warnings).append(entry)
 
     for machine, (seq, t, match, job) in sorted(
@@ -209,17 +252,20 @@ def check_events(
             "unterminated-machine-claim",
             f"machine {machine!r} still holds match {match} (job {job}, "
             f"accepted at t={t:.3f}) at end of stream",
+            **anchor(match=match),
         )
     for key, (seq, t, match) in sorted(job_claims.items(), key=lambda item: str(item[0])):
         loose_end(
             "unterminated-job-claim",
             f"job {key} still holds claim {match} (accepted at t={t:.3f}) "
             f"at end of stream",
+            **anchor(match=match, key=key),
         )
     for key in sorted(set(submitted) - set(finished), key=str):
         loose_end(
             "incomplete-job",
             f"job {key} (submitted at t={submitted[key]:.3f}) never completed",
+            **anchor(key=key),
         )
 
     counts["open_machine_claims"] = len(machine_claims)

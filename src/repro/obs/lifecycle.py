@@ -1,0 +1,457 @@
+"""Per-job lifecycle analytics over recorded event + trace streams.
+
+Answers the question the paper's Section 5 experiments kept asking by
+hand: *where did job J's time go* between submit and completion?  The
+recorded ``repro-events/1`` stream already carries every lifecycle
+transition (submit, advertise, match, claim, run, terminate); this
+module replays it into one state machine per job:
+
+.. code-block:: text
+
+    queued ──▶ advertised ──▶ negotiated ──▶ matched ──▶ claim-requested
+      ▲            ▲                                          │
+      │            │          (claim rejected / timed out) ◀──┤
+      │            │                                          ▼
+      │            └── evicted / lost-lease ◀── executing ◀── claimed
+      │                                            │
+      └── (rejected claims loop back)              ▼
+                                      completed / removed   (terminal)
+
+``claimed`` opens at the RA's accept verdict and ``executing`` at the
+CA's activation of the claim — the dwell of ``claimed`` is therefore
+the activation handshake latency.  Every transition closes the previous
+phase segment at the event's timestamp, so per-phase dwell times
+**telescope exactly**: their sum equals the end-to-end latency, with no
+clock skew (all daemons share the simulated clock).
+
+Terminal states are idempotent: once a job completes (or is removed),
+every later event for it — including a replayed ``job-done`` from a
+duplicated teardown notice under the chaos ``lossy`` profile — is
+counted in ``duplicate_terminals`` and otherwise ignored, so replays
+can never double-count in the latency percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .causal import SpanRecord
+from .events import Event
+
+__all__ = [
+    "Segment",
+    "JobLifecycle",
+    "build_lifecycles",
+    "latency_table",
+    "percentile",
+    "critical_path",
+    "render_timeline",
+    "render_latency_table",
+    "TERMINAL_STATES",
+]
+
+#: States a job never leaves (everything after them is a replay).
+TERMINAL_STATES = {"completed", "removed"}
+
+#: Phase order for rendering (unknown phases sort after these).
+PHASE_ORDER = (
+    "queued",
+    "advertised",
+    "negotiated",
+    "matched",
+    "claim-requested",
+    "claimed",
+    "executing",
+    "evicted",
+    "lost-lease",
+    "completed",
+    "removed",
+)
+
+
+@dataclass
+class Segment:
+    """One contiguous stay in a lifecycle state."""
+
+    state: str
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def dwell(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass
+class JobLifecycle:
+    """The replayed state machine of one job."""
+
+    owner: str
+    job_id: Any
+    trace_id: Optional[str] = None
+    segments: List[Segment] = field(default_factory=list)
+    terminal: Optional[str] = None
+    submit_t: Optional[float] = None
+    end_t: Optional[float] = None
+    matches: int = 0
+    evictions: int = 0
+    lease_losses: int = 0
+    claim_rejections: int = 0
+    #: Replayed terminal events ignored after the job already ended.
+    duplicate_terminals: int = 0
+
+    @property
+    def state(self) -> Optional[str]:
+        return self.segments[-1].state if self.segments else None
+
+    def end_to_end(self) -> Optional[float]:
+        if self.submit_t is None or self.end_t is None:
+            return None
+        return self.end_t - self.submit_t
+
+    def dwell_by_phase(self) -> Dict[str, float]:
+        """Total time in each state (closed segments only)."""
+        totals: Dict[str, float] = {}
+        for segment in self.segments:
+            if segment.end is None:
+                continue
+            totals[segment.state] = totals.get(segment.state, 0.0) + segment.dwell
+        return totals
+
+    # -- state machine ----------------------------------------------------
+
+    def _transition(self, state: str, t: float) -> None:
+        if self.segments:
+            current = self.segments[-1]
+            if current.end is None:
+                current.end = t
+            if current.state == state and current.end == t:
+                # Zero-width re-entry (e.g. re-advertise while advertised):
+                # reopen the segment instead of stacking empty ones.
+                current.end = None
+                return
+        self.segments.append(Segment(state, t))
+
+    def _finish(self, state: str, t: float) -> None:
+        if self.segments and self.segments[-1].end is None:
+            self.segments[-1].end = t
+        self.terminal = state
+        self.end_t = t
+
+
+def _phase_sort_key(state: str) -> Tuple[int, str]:
+    try:
+        return (PHASE_ORDER.index(state), state)
+    except ValueError:
+        return (len(PHASE_ORDER), state)
+
+
+def build_lifecycles(events: Iterable[Event]) -> Dict[Tuple[Any, Any], JobLifecycle]:
+    """Replay *events* (in stream order) into one lifecycle per job.
+
+    Keys are ``(owner, job_id)``.  Events for jobs whose submission was
+    not recorded are ignored (a truncated log is not an analytics bug).
+    """
+    jobs: Dict[Tuple[Any, Any], JobLifecycle] = {}
+    # RA-side claim verdicts name (match, job) but not the owner; the
+    # match id was introduced to the job by its match notification.
+    match_to_key: Dict[Any, Tuple[Any, Any]] = {}
+
+    def lookup(
+        fields: Dict[str, Any], owner_key: str = "owner", terminal: bool = False
+    ) -> Optional[JobLifecycle]:
+        owner = fields.get(owner_key)
+        job_id = fields.get("job")
+        if owner is None or job_id is None:
+            return None
+        lifecycle = jobs.get((owner, job_id))
+        if lifecycle is None:
+            return None
+        if lifecycle.terminal is not None:
+            # Idempotent terminals: events after the end are replays
+            # (duplicated teardown notices, stale retransmits) — never
+            # re-entered into the state machine.  Replayed *terminal*
+            # events are additionally counted, the satellite-fix metric.
+            if terminal:
+                lifecycle.duplicate_terminals += 1
+            return None
+        return lifecycle
+
+    for event in events:
+        kind = event.kind
+        fields = event.fields
+        if kind == "job-submitted":
+            owner, job_id = fields.get("owner"), fields.get("job")
+            if owner is None or job_id is None:
+                continue
+            key = (owner, job_id)
+            if key in jobs:
+                continue  # duplicate submission: keep the original clock
+            lifecycle = JobLifecycle(
+                owner=owner, job_id=job_id, trace_id=fields.get("trace")
+            )
+            lifecycle.submit_t = event.t
+            lifecycle._transition("queued", event.t)
+            jobs[key] = lifecycle
+        elif kind in ("advertise-job", "advertise-job-flock"):
+            lifecycle = lookup(fields)
+            if lifecycle is not None and lifecycle.state != "advertised":
+                lifecycle._transition("advertised", event.t)
+        elif kind == "match.made":
+            lifecycle = lookup(fields, owner_key="submitter")
+            if lifecycle is not None:
+                lifecycle.matches += 1
+                lifecycle._transition("negotiated", event.t)
+        elif kind == "match-notified-customer":
+            lifecycle = lookup(fields)
+            if lifecycle is not None:
+                match_to_key[fields.get("match")] = (lifecycle.owner, lifecycle.job_id)
+                lifecycle._transition("matched", event.t)
+        elif kind == "claim-request":
+            lifecycle = lookup(fields)
+            if lifecycle is not None:
+                lifecycle._transition("claim-requested", event.t)
+        elif kind == "claim-response":
+            if not fields.get("accepted"):
+                continue
+            key = match_to_key.get(fields.get("match"))
+            lifecycle = jobs.get(key) if key is not None else None
+            if lifecycle is not None and lifecycle.terminal is None:
+                lifecycle._transition("claimed", event.t)
+        elif kind == "claim-accepted":
+            lifecycle = lookup(fields)
+            if lifecycle is not None:
+                lifecycle._transition("executing", event.t)
+        elif kind in ("claim-rejected", "claim-timeout"):
+            lifecycle = lookup(fields)
+            if lifecycle is not None:
+                lifecycle.claim_rejections += 1
+                lifecycle._transition("queued", event.t)
+        elif kind == "job-evicted-ca":
+            lifecycle = lookup(fields)
+            if lifecycle is not None:
+                lifecycle.evictions += 1
+                lifecycle._transition("evicted", event.t)
+        elif kind == "claim.lease.lost":
+            lifecycle = lookup(fields)
+            if lifecycle is not None:
+                lifecycle.lease_losses += 1
+                lifecycle._transition("lost-lease", event.t)
+        elif kind == "job-done":
+            lifecycle = lookup(fields, terminal=True)
+            if lifecycle is not None:
+                lifecycle._finish("completed", event.t)
+        elif kind == "job-removed":
+            lifecycle = lookup(fields, terminal=True)
+            if lifecycle is not None:
+                lifecycle._finish("removed", event.t)
+    return jobs
+
+
+def find_job(
+    lifecycles: Dict[Tuple[Any, Any], JobLifecycle], job_spec: str
+) -> List[JobLifecycle]:
+    """Resolve a CLI job spec: ``<job-id>`` or ``<owner>.<job-id>``."""
+    owner: Optional[str] = None
+    raw = job_spec
+    if "." in job_spec:
+        owner, raw = job_spec.rsplit(".", 1)
+    try:
+        job_id: Any = int(raw)
+    except ValueError:
+        job_id = raw
+    return [
+        lc
+        for (o, j), lc in sorted(lifecycles.items(), key=lambda item: str(item[0]))
+        if j == job_id and (owner is None or o == owner)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# latency statistics
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic; q in (0, 1])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _stats(values: Sequence[float]) -> Dict[str, float]:
+    return {
+        "n": len(values),
+        "p50": percentile(values, 0.50),
+        "p90": percentile(values, 0.90),
+        "p99": percentile(values, 0.99),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }
+
+
+def latency_table(
+    lifecycles: Dict[Tuple[Any, Any], JobLifecycle]
+) -> Dict[str, Any]:
+    """Pool-wide latency decomposition over *completed* jobs.
+
+    Per-phase rows aggregate each job's total dwell in that phase;
+    ``end_to_end`` is submit→completion.  The output is the
+    ``repro-latency/1`` JSON consumed by CI.
+    """
+    completed = [lc for lc in lifecycles.values() if lc.terminal == "completed"]
+    end_to_end = [lc.end_to_end() for lc in completed]
+    phases: Dict[str, List[float]] = {}
+    for lc in completed:
+        for state, dwell in lc.dwell_by_phase().items():
+            phases.setdefault(state, []).append(dwell)
+    return {
+        "schema": "repro-latency/1",
+        "jobs": len(lifecycles),
+        "jobs_completed": len(completed),
+        "duplicate_terminals": sum(lc.duplicate_terminals for lc in lifecycles.values()),
+        "end_to_end": _stats(end_to_end) if end_to_end else None,
+        "phases": {
+            state: _stats(values)
+            for state, values in sorted(phases.items(), key=lambda kv: _phase_sort_key(kv[0]))
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# critical path over the causal DAG
+
+
+def critical_path(spans: List[SpanRecord], trace_id: Optional[str] = None) -> List[SpanRecord]:
+    """The root→leaf ancestor chain ending at the trace's latest span.
+
+    The returned chain is the causal backbone of the job's lifetime:
+    each hop is the message (or daemon decision) the next one waited on.
+    """
+    members = [s for s in spans if trace_id is None or s.trace == trace_id]
+    if not members:
+        return []
+    by_id = {s.span: s for s in members}
+    leaf = max(members, key=lambda s: (s.t, s.span))
+    chain = [leaf]
+    seen = {leaf.span}
+    cursor = leaf
+    while cursor.parent is not None:
+        parent = by_id.get(cursor.parent)
+        if parent is None or parent.span in seen:
+            break
+        chain.append(parent)
+        seen.add(parent.span)
+        cursor = parent
+    chain.reverse()
+    return chain
+
+
+def render_critical_path(chain: List[SpanRecord]) -> str:
+    lines = []
+    prev_t: Optional[float] = None
+    for span in chain:
+        delta = "" if prev_t is None else f"  (+{span.t - prev_t:.3f}s)"
+        detail = " ".join(f"{k}={v}" for k, v in span.fields.items())
+        lines.append(
+            f"  t={span.t:10.3f}  {span.name:<28} {detail}{delta}".rstrip()
+        )
+        prev_t = span.t
+    if chain:
+        lines.append(
+            f"  critical path: {len(chain)} span(s), "
+            f"{chain[-1].t - chain[0].t:.3f}s root→leaf"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+_BAR_WIDTH = 30
+
+
+def render_timeline(lifecycle: JobLifecycle) -> str:
+    """The ``repro obs timeline`` view: per-phase dwell breakdown whose
+    rows sum exactly to the end-to-end latency."""
+    head = f"job {lifecycle.job_id} ({lifecycle.owner})"
+    if lifecycle.trace_id:
+        head += f" — trace {lifecycle.trace_id}"
+    lines = [head]
+    if lifecycle.submit_t is not None:
+        status = (
+            f"{lifecycle.terminal} t={lifecycle.end_t:.3f}"
+            if lifecycle.terminal is not None
+            else f"in state {lifecycle.state!r} (stream truncated)"
+        )
+        lines.append(f"submitted t={lifecycle.submit_t:.3f}, {status}")
+    closed = [s for s in lifecycle.segments if s.end is not None]
+    longest = max((s.dwell for s in closed), default=0.0)
+    lines.append(f"{'phase':<16} {'start':>10} {'end':>10} {'dwell':>10}")
+    total = 0.0
+    for segment in lifecycle.segments:
+        if segment.end is None:
+            lines.append(f"{segment.state:<16} {segment.start:>10.3f} {'…':>10} {'?':>10}")
+            continue
+        total += segment.dwell
+        width = (
+            int(round(_BAR_WIDTH * segment.dwell / longest)) if longest > 0 else 0
+        )
+        bar = "█" * width
+        lines.append(
+            f"{segment.state:<16} {segment.start:>10.3f} {segment.end:>10.3f} "
+            f"{segment.dwell:>10.3f}  {bar}".rstrip()
+        )
+    end_to_end = lifecycle.end_to_end()
+    if end_to_end is not None:
+        check = "=" if math.isclose(total, end_to_end, abs_tol=1e-9) else "≠"
+        lines.append(
+            f"{'total':<16} {'':>10} {'':>10} {total:>10.3f}  ({check} end-to-end "
+            f"{end_to_end:.3f})"
+        )
+    counters = []
+    if lifecycle.matches:
+        counters.append(f"matches={lifecycle.matches}")
+    if lifecycle.claim_rejections:
+        counters.append(f"claim_rejections={lifecycle.claim_rejections}")
+    if lifecycle.evictions:
+        counters.append(f"evictions={lifecycle.evictions}")
+    if lifecycle.lease_losses:
+        counters.append(f"lease_losses={lifecycle.lease_losses}")
+    if lifecycle.duplicate_terminals:
+        counters.append(f"duplicate_terminals={lifecycle.duplicate_terminals}")
+    if counters:
+        lines.append("  ".join(counters))
+    return "\n".join(lines)
+
+
+def render_latency_table(table: Dict[str, Any]) -> str:
+    """Human rendering of :func:`latency_table` output."""
+    lines = [
+        f"jobs      : {table['jobs_completed']}/{table['jobs']} completed"
+        + (
+            f" ({table['duplicate_terminals']} replayed terminal event(s) ignored)"
+            if table.get("duplicate_terminals")
+            else ""
+        )
+    ]
+    if table["end_to_end"] is None:
+        lines.append("no completed jobs — no latency distribution to report")
+        return "\n".join(lines)
+    header = f"{'phase':<16} {'n':>4} {'p50':>10} {'p90':>10} {'p99':>10} {'mean':>10} {'max':>10}"
+    lines.append(header)
+
+    def row(name: str, stats: Dict[str, float]) -> str:
+        return (
+            f"{name:<16} {stats['n']:>4} {stats['p50']:>10.3f} {stats['p90']:>10.3f} "
+            f"{stats['p99']:>10.3f} {stats['mean']:>10.3f} {stats['max']:>10.3f}"
+        )
+
+    for state, stats in table["phases"].items():
+        lines.append(row(state, stats))
+    lines.append(row("end-to-end", table["end_to_end"]))
+    return "\n".join(lines)

@@ -35,6 +35,7 @@ from .messages import (
     ReleaseNotice,
     Withdrawal,
     next_message_id,
+    reset_message_ids,
 )
 from .notify import (
     build_notifications,
@@ -79,6 +80,7 @@ __all__ = [
     "embed_ticket",
     "make_session_key",
     "next_message_id",
+    "reset_message_ids",
     "respond_to_claim",
     "ticket_from_ad",
     "validate_ad",

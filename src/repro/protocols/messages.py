@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..classads import ClassAd
+from ..obs.causal import TraceContext
 from .tickets import Ticket
 
 _sequence = itertools.count(1)
@@ -29,12 +30,31 @@ def next_message_id() -> int:
     return next(_sequence)
 
 
+def reset_message_ids() -> None:
+    """Restart the id sequence at 1.
+
+    Only for fresh, isolated runs (``repro chaos`` resets before each
+    recording so same-seed runs are bitwise identical); never call this
+    while a pool is live — duplicate suppression relies on uniqueness.
+    """
+    global _sequence
+    _sequence = itertools.count(1)
+
+
 @dataclass(frozen=True)
 class Message:
-    """Base class: sender/recipient are contact addresses (strings)."""
+    """Base class: sender/recipient are contact addresses (strings).
+
+    ``ctx`` is the optional causal trace context (see
+    :mod:`repro.obs.causal`): the network injects it on first send —
+    retransmitted and chaos-duplicated copies re-send the same frozen
+    object, so every copy shares the originating span — and activates
+    it around delivery.  ``None`` whenever causal tracing is off.
+    """
 
     sender: str
     recipient: str
+    ctx: Optional[TraceContext] = field(default=None, kw_only=True)
 
 
 @dataclass(frozen=True)

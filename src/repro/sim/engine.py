@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..obs import event_log as _event_log, metrics as _metrics
+from ..obs.causal import causal_log as _causal_log
+from ..obs.timeseries import series as _series
 
 # The event counter is the denominator for throughput (events per
 # wall-second); step() bumps it behind the registry's one-boolean guard
@@ -52,11 +54,13 @@ class Simulator:
         self._sequence = itertools.count()
         self._cancelled: set = set()
         self.events_processed = 0
-        # Forensics: the newest simulator becomes the event log's clock, so
-        # everything recorded during a simulation (matchmaker cycles, claim
-        # verdicts, mirrored trace events) is stamped with simulated time.
-        # The log's reset() restores the wall clock.
+        # Forensics: the newest simulator becomes the clock of every
+        # recorded stream (events, causal spans, pool series), so
+        # everything recorded during a simulation is stamped with
+        # simulated time.  Each stream's reset() restores the wall clock.
         _event_log.set_clock(lambda: self.now)
+        _causal_log.set_clock(lambda: self.now)
+        _series.set_clock(lambda: self.now)
         _event_log.emit("sim.started", t=self.now)
 
     # -- scheduling ------------------------------------------------------

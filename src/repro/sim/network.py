@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..obs import metrics as _metrics
+from ..obs.causal import causal_log as _causal
 from .engine import Simulator
 from .rng import RngStream
 
@@ -115,6 +116,17 @@ class Network:
         if sender in self._down:
             self.stats.dropped_down += 1
             return
+        if _causal.enabled and getattr(message, "ctx", None) is None:
+            # Causal injection happens once per message *object*: the
+            # send span parents on whatever context is active (a recv
+            # span mid-handler, a daemon-stitched claim/job context) and
+            # rides the message — so blind retransmits and chaos
+            # duplicates of this object all share the originating span.
+            ctx = _causal.span(
+                f"send.{type(message).__name__}", frm=sender, to=message.recipient
+            )
+            if ctx is not None and hasattr(message, "ctx"):
+                object.__setattr__(message, "ctx", ctx)
         self.stats.sent += 1
         if self.loss and self.rng.bernoulli(self.loss):
             self.stats.dropped_loss += 1
@@ -152,4 +164,14 @@ class Network:
             self.stats.dropped_no_recipient += 1
             return
         self.stats.delivered += 1
-        handler(message)
+        ctx = getattr(message, "ctx", None)
+        if _causal.enabled and ctx is not None:
+            # Each delivered copy gets its own recv span under the shared
+            # send span, and the handler runs with it active — anything
+            # the handler sends becomes a causal child, which is how the
+            # DAG crosses daemon boundaries.
+            rctx = _causal.span(f"recv.{type(message).__name__}", parent=ctx, at=recipient)
+            with _causal.activate(rctx):
+                handler(message)
+        else:
+            handler(message)

@@ -1,0 +1,121 @@
+"""The observability acceptance scenario: a recorded ``cm-crash`` run
+must yield a complete, self-consistent lifecycle analysis that is
+bitwise-identical across two runs with the same seed.
+
+Runs the real CLI end-to-end (``repro chaos --out --trace --series``
+then the ``repro obs`` analysis verbs) so the whole recording path —
+simulator clocks, deterministic trace ids, schema headers — is under
+test, not just the library functions.
+"""
+
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.obs.causal import check_dag
+from repro.obs.causal import read_jsonl as read_trace
+from repro.obs.events import read_jsonl as read_events
+from repro.obs.lifecycle import build_lifecycles
+from repro.obs.timeseries import read_jsonl as read_series
+
+
+@pytest.fixture(scope="module")
+def recorded_runs(tmp_path_factory):
+    """Two same-seed cm-crash recordings, all three streams each."""
+    runs = []
+    for attempt in ("one", "two"):
+        base = tmp_path_factory.mktemp(f"run-{attempt}")
+        paths = {
+            "events": str(base / "events.jsonl"),
+            "trace": str(base / "trace.jsonl"),
+            "series": str(base / "series.jsonl"),
+        }
+        code = main(
+            ["chaos", "cm-crash", "--machines", "4", "--jobs", "6",
+             "--horizon", "1800", "--out", paths["events"],
+             "--trace", paths["trace"], "--series", paths["series"]]
+        )
+        assert code == 0
+        runs.append(paths)
+    return runs
+
+
+def render_all_timelines(events_path, capsys):
+    lifecycles = build_lifecycles(read_events(events_path))
+    chunks = []
+    for owner, job_id in sorted(lifecycles, key=str):
+        assert main(["obs", "timeline", f"{owner}.{job_id}", events_path]) == 0
+        chunks.append(capsys.readouterr().out)
+    return "".join(chunks)
+
+
+class TestDeterminism:
+    def test_timelines_bitwise_identical_across_runs(self, recorded_runs, capsys):
+        first, second = recorded_runs
+        assert render_all_timelines(first["events"], capsys) == render_all_timelines(
+            second["events"], capsys
+        )
+
+    def test_traces_bitwise_identical_across_runs(self, recorded_runs):
+        first, second = recorded_runs
+        for stream in ("trace", "series"):
+            with open(first[stream]) as a, open(second[stream]) as b:
+                assert a.read() == b.read(), f"{stream} stream differs between runs"
+
+    def test_event_streams_identical_modulo_wall_clock(self, recorded_runs):
+        # cycle.end carries duration_s, a *wall-clock* measurement — the
+        # one legitimately nondeterministic field in a recorded run.
+        # Everything else must be bitwise identical.
+        import json
+
+        def normalized(path):
+            with open(path) as handle:
+                for line in handle:
+                    record = json.loads(line)
+                    record.get("fields", {}).pop("duration_s", None)
+                    yield record
+
+        first, second = recorded_runs
+        for a, b in zip(normalized(first["events"]), normalized(second["events"])):
+            assert a == b
+
+
+class TestRecordedAnalysis:
+    def test_every_job_completes_with_telescoping_dwells(self, recorded_runs):
+        lifecycles = build_lifecycles(read_events(recorded_runs[0]["events"]))
+        assert len(lifecycles) == 6
+        for lifecycle in lifecycles.values():
+            assert lifecycle.terminal == "completed"
+            dwell_sum = sum(lifecycle.dwell_by_phase().values())
+            assert math.isclose(dwell_sum, lifecycle.end_to_end())
+
+    def test_trace_stream_is_connected_per_job(self, recorded_runs):
+        spans = read_trace(recorded_runs[0]["trace"])
+        grouped = check_dag(spans)
+        assert len(grouped) == 6
+        for trace_id, trace_spans in grouped.items():
+            roots = [s for s in trace_spans if s.parent is None]
+            assert len(roots) == 1, f"{trace_id}: expected one root"
+
+    def test_series_sampled_every_cycle(self, recorded_runs):
+        samples = read_series(recorded_runs[0]["series"])
+        assert samples
+        cycles = [s.fields["cycle"] for s in samples]
+        assert cycles == sorted(cycles)
+        assert all("machines" in s.fields for s in samples)
+
+    def test_critical_path_renders_from_recording(self, recorded_runs, capsys):
+        assert main(["obs", "critical-path", "alice.0", recorded_runs[0]["trace"]]) == 0
+        out = capsys.readouterr().out
+        assert "job.submit" in out
+        assert "root→leaf" in out
+
+    def test_latency_json_from_recording(self, recorded_runs, capsys):
+        import json
+
+        assert main(["obs", "latency", recorded_runs[0]["events"], "--json"]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["schema"] == "repro-latency/1"
+        assert table["jobs_completed"] == 6
+        assert table["duplicate_terminals"] == 0

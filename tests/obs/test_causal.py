@@ -1,0 +1,264 @@
+"""Unit tests for the causal tracer (repro-trace/1) and the cross-daemon
+trace propagation it enables.
+
+The propagation half is the tentpole acceptance test: under every chaos
+profile, each job's spans must form ONE connected DAG rooted at its
+``job.submit`` span — retransmits, duplicates, partitions, and daemon
+crashes included.  Orphan spans (a parent id that appears nowhere in
+the trace) are a stitching bug, never data.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.condor import CondorPool, Job, MachineSpec, PoolConfig
+from repro.obs.causal import (
+    TRACE_SCHEMA,
+    CausalTracer,
+    TraceContext,
+    TraceError,
+    check_dag,
+    job_trace_id,
+    read_jsonl,
+    validate_record,
+)
+from repro.sim.chaos import PROFILES, chaos_profile
+
+
+@pytest.fixture
+def tracer():
+    return CausalTracer(enabled=True)
+
+
+class TestTraceContext:
+    def test_round_trip(self):
+        ctx = TraceContext("job.a.1", 4, 2)
+        assert ctx.to_dict() == {"trace": "job.a.1", "span": 4, "parent": 2}
+
+    def test_job_trace_id_is_deterministic(self):
+        assert job_trace_id("alice", 7) == "job.alice.7"
+        assert job_trace_id("alice", 7) == job_trace_id("alice", 7)
+
+
+class TestCausalTracer:
+    def test_disabled_is_noop(self):
+        tracer = CausalTracer(enabled=False)
+        assert tracer.start_trace("job.a.1", "job.submit") is None
+        assert tracer.span("anything") is None
+        assert len(tracer.spans()) == 0
+
+    def test_root_span(self, tracer):
+        ctx = tracer.start_trace("job.a.1", "job.submit", owner="a")
+        assert ctx is not None
+        assert ctx.trace_id == "job.a.1"
+        (record,) = tracer.spans()
+        assert record.name == "job.submit"
+        assert record.parent is None
+        assert record.fields == {"owner": "a"}
+
+    def test_span_parents_on_activation(self, tracer):
+        root = tracer.start_trace("job.a.1", "job.submit")
+        with tracer.activate(root):
+            child = tracer.span("send.Advertisement")
+        assert child.trace_id == "job.a.1"
+        assert tracer.spans()[-1].parent == root.span_id
+
+    def test_explicit_parent_beats_activation(self, tracer):
+        root = tracer.start_trace("job.a.1", "job.submit")
+        other = tracer.start_trace("job.b.2", "job.submit")
+        with tracer.activate(other):
+            child = tracer.span("recv.Advertisement", parent=root)
+        assert child.trace_id == "job.a.1"
+
+    def test_parentless_span_is_dropped(self, tracer):
+        assert tracer.span("send.Advertisement") is None
+        assert len(tracer.spans()) == 0
+
+    def test_activation_nests_and_restores(self, tracer):
+        root = tracer.start_trace("job.a.1", "job.submit")
+        with tracer.activate(root):
+            inner = tracer.span("negotiate.match")
+            with tracer.activate(inner):
+                assert tracer.current() == inner
+            assert tracer.current() == root
+        assert tracer.current() is None
+
+    def test_activate_none_is_transparent(self, tracer):
+        root = tracer.start_trace("job.a.1", "job.submit")
+        with tracer.activate(root):
+            with tracer.activate(None):
+                assert tracer.current() == root
+
+    def test_span_ids_are_sequential(self, tracer):
+        a = tracer.start_trace("job.a.1", "job.submit")
+        b = tracer.start_trace("job.b.2", "job.submit")
+        assert b.span_id == a.span_id + 1
+
+    def test_ring_is_bounded(self):
+        tracer = CausalTracer(enabled=True, capacity=4)
+        for i in range(10):
+            tracer.start_trace(f"job.a.{i}", "job.submit")
+        assert len(tracer.spans()) == 4
+
+    def test_reset_clears_everything(self, tracer):
+        root = tracer.start_trace("job.a.1", "job.submit")
+        tracer._stack.append(root)
+        tracer.reset()
+        assert tracer.spans() == []
+        assert tracer.current() is None
+        fresh = tracer.start_trace("job.a.1", "job.submit")
+        assert fresh.span_id == 1
+
+    def test_of_trace_filters(self, tracer):
+        tracer.start_trace("job.a.1", "job.submit")
+        tracer.start_trace("job.b.2", "job.submit")
+        assert [s.trace for s in tracer.of_trace("job.a.1")] == ["job.a.1"]
+
+
+class TestSerialization:
+    def test_file_sink_round_trip(self, tracer, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer.open_file(path)
+        root = tracer.start_trace("job.a.1", "job.submit", owner="a")
+        with tracer.activate(root):
+            tracer.span("send.Advertisement", frm="schedd@a")
+        tracer.close_file()
+        spans = read_jsonl(path)
+        assert [s.name for s in spans] == ["job.submit", "send.Advertisement"]
+        assert spans[1].parent == spans[0].span
+        assert spans[1].fields == {"frm": "schedd@a"}
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"span": 1, "t": 0.0, "trace": "x", "name": "y"}\n')
+        with pytest.raises(TraceError):
+            read_jsonl(str(path))
+
+    def test_schema_header_value(self, tracer, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer.open_file(path)
+        tracer.close_file()
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        assert header == {"schema": TRACE_SCHEMA}
+
+    def test_validate_rejects_missing_keys(self):
+        with pytest.raises(TraceError):
+            validate_record({"span": 1, "t": 0.0, "trace": "x"})
+        with pytest.raises(TraceError):
+            validate_record({"span": "one", "t": 0.0, "trace": "x", "name": "y"})
+
+
+class TestCheckDag:
+    def test_connected_trace_passes(self, tracer):
+        root = tracer.start_trace("job.a.1", "job.submit")
+        with tracer.activate(root):
+            child = tracer.span("send.Advertisement")
+            with tracer.activate(child):
+                tracer.span("recv.Advertisement")
+        grouped = check_dag(tracer.spans())
+        assert set(grouped) == {"job.a.1"}
+        assert len(grouped["job.a.1"]) == 3
+
+    def test_orphan_parent_raises(self):
+        from repro.obs.causal import SpanRecord
+
+        spans = [
+            SpanRecord(1, 0.0, "job.a.1", "job.submit", None, {}),
+            SpanRecord(2, 1.0, "job.a.1", "recv.X", 99, {}),
+        ]
+        with pytest.raises(TraceError, match="orphan"):
+            check_dag(spans)
+
+    def test_rootless_trace_raises(self):
+        from repro.obs.causal import SpanRecord
+
+        spans = [SpanRecord(2, 1.0, "job.a.1", "recv.X", 2, {})]
+        with pytest.raises(TraceError):
+            check_dag(spans)
+
+
+# ---------------------------------------------------------------------------
+# cross-daemon propagation under chaos (the tentpole acceptance property)
+
+
+def run_traced_profile(name, horizon=3600.0, machines=5, jobs=10):
+    """A recorded pool run under chaos with causal tracing on; returns
+    (pool, spans)."""
+    plan = chaos_profile(name, horizon=horizon)
+    obs.reset()
+    obs.enable(events=True, causal=True)
+    try:
+        specs = [
+            MachineSpec(name=f"m{i}", mips=100.0 + 50.0 * (i % 3))
+            for i in range(machines)
+        ]
+        pool = CondorPool(
+            specs,
+            config=PoolConfig(
+                seed=plan.seed,
+                advertise_interval=60.0,
+                negotiation_interval=60.0,
+                chaos=plan,
+                chaos_horizon=horizon,
+            ),
+        )
+        batch = [
+            Job(
+                job_id=j,
+                owner="alice" if j % 2 == 0 else "bob",
+                total_work=600.0 + 60.0 * (j % 5),
+            )
+            for j in range(jobs)
+        ]
+        pool.submit_all(batch, arrival_times=[5.0 * j for j in range(len(batch))])
+        pool.run_until_quiescent(check_interval=60.0, max_time=8.0 * horizon)
+        spans = list(obs.causal_log.spans())
+    finally:
+        obs.disable()
+        obs.reset()
+    return pool, spans
+
+
+class TestPropagationUnderChaos:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_one_connected_dag_per_job(self, profile):
+        pool, spans = run_traced_profile(profile)
+        # No orphans, one root per trace — raises otherwise.
+        grouped = check_dag(spans)
+        # Every submitted job produced a trace rooted at its submission.
+        for job in pool.jobs():
+            trace_id = job_trace_id(job.owner, job.job_id)
+            assert trace_id in grouped, f"no trace for {trace_id}"
+            roots = [s for s in grouped[trace_id] if s.parent is None]
+            assert len(roots) == 1
+            assert roots[0].name == "job.submit"
+
+    def test_retransmit_copies_share_origin_span(self):
+        # Under the lossy profile some sends are retried/duplicated; a
+        # message's recv spans must all parent on the ORIGINATING send
+        # span, so duplicates appear as sibling recvs, not new roots.
+        _, spans = run_traced_profile("lossy")
+        by_id = {s.span: s for s in spans}
+        recvs = [s for s in spans if s.name.startswith("recv.")]
+        assert recvs, "lossy run recorded no deliveries"
+        for record in recvs:
+            parent = by_id[record.parent]
+            assert parent.name.startswith(("send.", "job.", "negotiate."))
+
+    def test_spans_cover_the_whole_conversation(self):
+        _, spans = run_traced_profile("cm-crash")
+        names = {s.name for s in spans}
+        for expected in (
+            "job.submit",
+            "send.Advertisement",
+            "recv.Advertisement",
+            "negotiate.match",
+            "send.MatchNotification",
+            "send.ClaimRequest",
+            "recv.ClaimResponse",
+            "send.JobCompleted",
+        ):
+            assert expected in names, f"missing {expected}"

@@ -124,3 +124,54 @@ class TestLiveness:
         text = check_events(events).render()
         assert "VIOLATION" in text
         assert "machine-overlap" in text
+
+
+class TestViolationAnchors:
+    """Violations carry job/match/trace anchors for tooling pivots."""
+
+    def test_machine_overlap_resolves_owner_via_match(self):
+        events = [
+            ev(1, 0.0, "job-submitted", owner="a", job=1, trace="job.a.1"),
+            ev(2, 0.0, "job-submitted", owner="b", job=2, trace="job.b.2"),
+            ev(3, 1.0, "match-notified-customer", owner="a", job=1, match=1),
+            ev(4, 1.5, "match-notified-customer", owner="b", job=2, match=2),
+            machine_claim(5, 2.0, match=1, job=1),
+            machine_claim(6, 3.0, match=2, job=2),
+        ]
+        report = check_events(events)
+        (violation,) = report.violations
+        assert violation.invariant == "machine-overlap"
+        assert violation.job == "b.2"
+        assert violation.match == 2
+        assert violation.trace == "job.b.2"
+        assert "job=b.2" in str(violation)
+        assert "trace=job.b.2" in str(violation)
+
+    def test_trace_absent_when_recorded_without_tracing(self):
+        events = [
+            ev(1, 0.0, "job-submitted", owner="a", job=1),
+            machine_claim(2, 2.0, match=1, job=1),
+            machine_claim(3, 3.0, match=2, job=2),
+        ]
+        (violation,) = check_events(events).violations
+        assert violation.trace is None
+        assert "trace=" not in str(violation)
+
+    def test_incomplete_job_carries_anchors(self):
+        events = [ev(1, 0.0, "job-submitted", owner="a", job=1, trace="job.a.1")]
+        report = check_events(events, require_complete=True)
+        (violation,) = report.violations
+        assert violation.invariant == "incomplete-job"
+        assert violation.job == "a.1"
+        assert violation.trace == "job.a.1"
+
+    def test_double_completion_carries_anchors(self):
+        events = [
+            ev(1, 0.0, "job-submitted", owner="a", job=1, trace="job.a.1"),
+            ev(2, 5.0, "job-done", owner="a", job=1),
+            ev(3, 6.0, "job-done", owner="a", job=1),
+        ]
+        (violation,) = check_events(events).violations
+        assert violation.invariant == "double-completion"
+        assert violation.job == "a.1"
+        assert violation.trace == "job.a.1"

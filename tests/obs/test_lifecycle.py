@@ -1,0 +1,202 @@
+"""Unit tests for the job lifecycle state machine and latency analytics.
+
+The load-bearing properties: phase dwells telescope (they sum exactly to
+end-to-end latency), terminal states are idempotent under duplicated
+completion events (replays are counted, never double-counted), and the
+percentile math is deterministic nearest-rank.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.causal import SpanRecord
+from repro.obs.events import Event
+from repro.obs.lifecycle import (
+    PHASE_ORDER,
+    TERMINAL_STATES,
+    build_lifecycles,
+    critical_path,
+    find_job,
+    latency_table,
+    percentile,
+    render_critical_path,
+    render_latency_table,
+    render_timeline,
+)
+
+
+def ev(seq, t, kind, **fields):
+    return Event(seq, t, kind, fields)
+
+
+def happy_path(owner="alice", job=0, offset=0.0, work=600.0):
+    """The canonical submit→completion event sequence for one job."""
+    t = offset
+    return [
+        ev(1, t, "job-submitted", owner=owner, job=job, trace=f"job.{owner}.{job}"),
+        ev(2, t, "advertise-job", owner=owner, job=job),
+        ev(3, t + 60.0, "match.made", cycle=1, submitter=owner, job=job),
+        ev(4, t + 60.1, "match-notified-customer", owner=owner, job=job, match=1),
+        ev(5, t + 60.1, "claim-request", owner=owner, job=job, match=1),
+        ev(6, t + 60.2, "claim-response", machine="m0", accepted=True, match=1, job=job),
+        ev(7, t + 60.3, "claim-accepted", owner=owner, job=job, match=1),
+        ev(8, t + 60.3 + work, "job-done", owner=owner, job=job),
+    ]
+
+
+class TestStateMachine:
+    def test_happy_path_states(self):
+        lifecycles = build_lifecycles(happy_path())
+        lc = lifecycles[("alice", 0)]
+        assert lc.terminal == "completed"
+        assert lc.trace_id == "job.alice.0"
+        assert [s.state for s in lc.segments] == [
+            "queued",
+            "advertised",
+            "negotiated",
+            "matched",
+            "claim-requested",
+            "claimed",
+            "executing",
+        ]
+        assert lc.matches == 1
+
+    def test_dwells_telescope_to_end_to_end(self):
+        lc = build_lifecycles(happy_path())[("alice", 0)]
+        assert math.isclose(sum(lc.dwell_by_phase().values()), lc.end_to_end())
+
+    def test_rejected_claim_returns_to_queued(self):
+        events = [
+            ev(1, 0.0, "job-submitted", owner="a", job=1),
+            ev(2, 0.0, "advertise-job", owner="a", job=1),
+            ev(3, 60.0, "match-notified-customer", owner="a", job=1, match=5),
+            ev(4, 60.1, "claim-request", owner="a", job=1),
+            ev(5, 60.2, "claim-rejected", owner="a", job=1),
+        ]
+        lc = build_lifecycles(events)[("a", 1)]
+        assert lc.state == "queued"
+        assert lc.claim_rejections == 1
+
+    def test_unknown_job_events_ignored(self):
+        events = [ev(1, 1.0, "claim-request", owner="ghost", job=9)]
+        assert build_lifecycles(events) == {}
+
+    def test_duplicate_submission_keeps_original_clock(self):
+        events = happy_path() + [ev(9, 5.0, "job-submitted", owner="alice", job=0)]
+        lc = build_lifecycles(events)[("alice", 0)]
+        assert lc.submit_t == 0.0
+
+
+class TestTerminalIdempotence:
+    def test_duplicated_completion_is_counted_not_replayed(self):
+        events = happy_path()
+        replay = ev(99, 700.0, "job-done", owner="alice", job=0)
+        lifecycles = build_lifecycles(events + [replay, replay])
+        lc = lifecycles[("alice", 0)]
+        assert lc.terminal == "completed"
+        assert lc.duplicate_terminals == 2
+        # The replayed terminal must not move the completion time.
+        assert lc.end_t == events[-1].t
+
+    def test_percentiles_unchanged_by_duplicate_terminals(self):
+        events = happy_path("alice", 0) + happy_path("bob", 1, offset=10.0, work=900.0)
+        clean = latency_table(build_lifecycles(events))
+        noisy = latency_table(
+            build_lifecycles(events + [ev(99, 2000.0, "job-done", owner="bob", job=1)])
+        )
+        assert noisy["duplicate_terminals"] == 1
+        assert noisy["end_to_end"] == clean["end_to_end"]
+        assert noisy["phases"] == clean["phases"]
+
+    def test_post_terminal_events_ignored_silently(self):
+        events = happy_path() + [ev(99, 700.0, "advertise-job", owner="alice", job=0)]
+        lc = build_lifecycles(events)[("alice", 0)]
+        assert lc.terminal == "completed"
+        assert lc.duplicate_terminals == 0
+
+    def test_terminal_states_cover_done_and_removed(self):
+        assert TERMINAL_STATES == {"completed", "removed"}
+
+
+class TestFindJob:
+    def test_bare_id(self):
+        lifecycles = build_lifecycles(happy_path())
+        assert [lc.owner for lc in find_job(lifecycles, "0")] == ["alice"]
+
+    def test_owner_qualified(self):
+        events = happy_path("alice", 0) + happy_path("bob", 0, offset=1.0)
+        lifecycles = build_lifecycles(events)
+        assert len(find_job(lifecycles, "0")) == 2
+        assert [lc.owner for lc in find_job(lifecycles, "bob.0")] == ["bob"]
+
+    def test_missing(self):
+        assert find_job(build_lifecycles(happy_path()), "42") == []
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 0.50) == 5.0
+        assert percentile(values, 0.90) == 9.0
+        assert percentile(values, 0.99) == 10.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_latency_table_schema(self):
+        table = latency_table(build_lifecycles(happy_path()))
+        assert table["schema"] == "repro-latency/1"
+        assert table["jobs"] == table["jobs_completed"] == 1
+        assert set(table["end_to_end"]) == {"n", "p50", "p90", "p99", "mean", "max"}
+        assert list(table["phases"]) == sorted(
+            table["phases"], key=lambda s: PHASE_ORDER.index(s)
+        )
+
+
+class TestCriticalPath:
+    def make_trace(self):
+        return [
+            SpanRecord(1, 0.0, "job.a.0", "job.submit", None, {}),
+            SpanRecord(2, 0.0, "job.a.0", "send.Advertisement", 1, {}),
+            SpanRecord(3, 8.0, "job.a.0", "recv.Advertisement", 2, {}),
+            SpanRecord(4, 60.0, "job.a.0", "negotiate.match", 3, {}),
+            SpanRecord(5, 1.0, "job.b.1", "job.submit", None, {}),
+        ]
+
+    def test_walks_leaf_to_root(self):
+        chain = critical_path(self.make_trace(), "job.a.0")
+        assert [s.name for s in chain] == [
+            "job.submit",
+            "send.Advertisement",
+            "recv.Advertisement",
+            "negotiate.match",
+        ]
+
+    def test_render_includes_deltas(self):
+        text = render_critical_path(critical_path(self.make_trace(), "job.a.0"))
+        assert "negotiate.match" in text
+        assert "root→leaf" in text
+
+    def test_missing_trace_is_empty(self):
+        assert critical_path(self.make_trace(), "job.nope.9") == []
+
+
+class TestRendering:
+    def test_timeline_total_matches_end_to_end(self):
+        lc = build_lifecycles(happy_path())[("alice", 0)]
+        text = render_timeline(lc)
+        assert "job 0 (alice)" in text
+        assert "trace job.alice.0" in text
+        assert f"(= end-to-end {lc.end_to_end():.3f})" in text
+
+    def test_latency_table_renders_all_phases(self):
+        table = latency_table(build_lifecycles(happy_path()))
+        text = render_latency_table(table)
+        for phase in table["phases"]:
+            assert phase in text
+        assert "end-to-end" in text

@@ -1,0 +1,115 @@
+"""Unit tests for the pool-health time-series store (repro-series/1)."""
+
+import json
+
+import pytest
+
+from repro.obs.timeseries import (
+    SERIES_SCHEMA,
+    Sample,
+    SeriesError,
+    SeriesStore,
+    read_jsonl,
+    render_header,
+    render_row,
+    render_table,
+    validate_record,
+)
+
+
+@pytest.fixture
+def store():
+    return SeriesStore(enabled=True)
+
+
+class TestSeriesStore:
+    def test_disabled_is_noop(self):
+        store = SeriesStore(enabled=False)
+        store.sample(t=1.0, machines=5)
+        assert len(store) == 0
+
+    def test_samples_are_sequenced(self, store):
+        store.sample(t=60.0, machines=5, claimed=2)
+        store.sample(t=120.0, machines=5, claimed=3)
+        first, second = store.samples()
+        assert (first.seq, second.seq) == (1, 2)
+        assert second.fields["claimed"] == 3
+        assert store.last() is second
+
+    def test_ring_is_bounded(self):
+        store = SeriesStore(enabled=True, capacity=3)
+        for i in range(10):
+            store.sample(t=float(i), cycle=i)
+        assert [s.fields["cycle"] for s in store] == [7, 8, 9]
+
+    def test_clock_used_when_t_omitted(self, store):
+        store.set_clock(lambda: 42.0)
+        store.sample(machines=1)
+        assert store.last().t == 42.0
+
+    def test_reset_restarts_numbering(self, store):
+        store.sample(t=1.0)
+        store.reset()
+        store.sample(t=2.0)
+        assert store.last().seq == 1
+
+
+class TestSerialization:
+    def test_file_round_trip(self, store, tmp_path):
+        path = str(tmp_path / "series.jsonl")
+        store.open_file(path)
+        store.sample(t=60.0, machines=5, match_rate=0.5)
+        store.close_file()
+        with open(path) as handle:
+            assert json.loads(handle.readline()) == {"schema": SERIES_SCHEMA}
+        (sample,) = read_jsonl(path)
+        assert sample.t == 60.0
+        assert sample.fields == {"machines": 5, "match_rate": 0.5}
+
+    def test_sink_flushes_per_sample(self, store, tmp_path):
+        # --watch depends on rows being visible while the run is live.
+        path = str(tmp_path / "series.jsonl")
+        store.open_file(path)
+        store.sample(t=60.0, machines=5)
+        with open(path) as handle:
+            assert len(handle.readlines()) == 2  # header + the sample
+        store.close_file()
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 1, "t": 0.0, "fields": {}}\n')
+        with pytest.raises(SeriesError):
+            read_jsonl(str(path))
+
+    def test_validate_rejects_bad_rows(self):
+        with pytest.raises(SeriesError):
+            validate_record({"seq": 1})
+        with pytest.raises(SeriesError):
+            validate_record({"seq": "one", "t": 0.0})
+        with pytest.raises(SeriesError):
+            validate_record({"seq": 1, "t": True})
+
+
+class TestRendering:
+    def sample(self, **fields):
+        return Sample(1, 60.0, fields)
+
+    def test_row_formats_match_rate(self):
+        row = render_row(self.sample(cycle=1, match_rate=0.5))
+        assert "0.50" in row
+
+    def test_row_dashes_missing_fields(self):
+        row = render_row(self.sample(cycle=1))
+        assert "-" in row
+
+    def test_table_is_header_plus_rows(self):
+        samples = [self.sample(cycle=1), self.sample(cycle=2)]
+        lines = render_table(samples).splitlines()
+        assert lines[0] == render_header()
+        assert len(lines) == 3
+
+    def test_table_limit_keeps_tail(self):
+        samples = [Sample(i, float(i), {"cycle": i}) for i in range(5)]
+        lines = render_table(samples, limit=2).splitlines()
+        assert len(lines) == 3
+        assert "4" in lines[-1]

@@ -396,3 +396,150 @@ class TestChaosCommand:
     def test_unknown_profile_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["chaos", "mayhem"])
+
+
+class TestLifecycleCommands:
+    """The lifecycle-analytics CLI: timeline / critical-path / latency / pool."""
+
+    LIFECYCLE_RECORDS = [
+        {"seq": 1, "t": 0.0, "kind": "job-submitted",
+         "fields": {"owner": "alice", "job": 0, "trace": "job.alice.0"}},
+        {"seq": 2, "t": 0.0, "kind": "advertise-job",
+         "fields": {"owner": "alice", "job": 0}},
+        {"seq": 3, "t": 60.0, "kind": "match-notified-customer",
+         "fields": {"owner": "alice", "job": 0, "match": 1}},
+        {"seq": 4, "t": 60.1, "kind": "claim-request",
+         "fields": {"owner": "alice", "job": 0, "match": 1}},
+        {"seq": 5, "t": 60.2, "kind": "claim-response",
+         "fields": {"machine": "m0", "accepted": True, "match": 1, "job": 0}},
+        {"seq": 6, "t": 60.3, "kind": "claim-accepted",
+         "fields": {"owner": "alice", "job": 0, "match": 1}},
+        {"seq": 7, "t": 660.3, "kind": "job-done",
+         "fields": {"owner": "alice", "job": 0}},
+    ]
+
+    TRACE_RECORDS = [
+        {"span": 1, "t": 0.0, "trace": "job.alice.0", "name": "job.submit",
+         "parent": None, "fields": {"owner": "alice", "job": 0}},
+        {"span": 2, "t": 0.0, "trace": "job.alice.0", "name": "send.Advertisement",
+         "parent": 1, "fields": {}},
+        {"span": 3, "t": 8.0, "trace": "job.alice.0", "name": "recv.Advertisement",
+         "parent": 2, "fields": {}},
+    ]
+
+    SERIES_RECORDS = [
+        {"seq": 1, "t": 60.0,
+         "fields": {"cycle": 1, "machines": 3, "claimed": 1, "match_rate": 0.5}},
+        {"seq": 2, "t": 120.0,
+         "fields": {"cycle": 2, "machines": 3, "claimed": 2, "match_rate": 1.0}},
+    ]
+
+    def write_jsonl(self, tmp_path, name, schema, records):
+        path = tmp_path / name
+        lines = [json.dumps({"schema": schema})] + [json.dumps(r) for r in records]
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    @pytest.fixture()
+    def events_file(self, tmp_path):
+        return self.write_jsonl(
+            tmp_path, "events.jsonl", "repro-events/1", self.LIFECYCLE_RECORDS
+        )
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        return self.write_jsonl(
+            tmp_path, "trace.jsonl", "repro-trace/1", self.TRACE_RECORDS
+        )
+
+    @pytest.fixture()
+    def series_file(self, tmp_path):
+        return self.write_jsonl(
+            tmp_path, "series.jsonl", "repro-series/1", self.SERIES_RECORDS
+        )
+
+    def test_timeline_renders_phases(self, capsys, events_file):
+        assert main(["obs", "timeline", "0", events_file]) == 0
+        out = capsys.readouterr().out
+        assert "job 0 (alice)" in out
+        assert "executing" in out
+        assert "end-to-end 660.300" in out
+
+    def test_timeline_owner_qualified(self, capsys, events_file):
+        assert main(["obs", "timeline", "alice.0", events_file]) == 0
+        assert "trace job.alice.0" in capsys.readouterr().out
+
+    def test_timeline_unknown_job(self, capsys, events_file):
+        assert main(["obs", "timeline", "42", events_file]) == 2
+        assert "recorded jobs: alice.0" in capsys.readouterr().err
+
+    def test_critical_path_walks_spans(self, capsys, trace_file):
+        assert main(["obs", "critical-path", "alice.0", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert out.index("job.submit") < out.index("recv.Advertisement")
+        assert "root→leaf" in out
+
+    def test_critical_path_unknown_trace(self, capsys, trace_file):
+        assert main(["obs", "critical-path", "bob.9", trace_file]) == 2
+        assert "job.alice.0" in capsys.readouterr().err
+
+    def test_latency_table(self, capsys, events_file):
+        assert main(["obs", "latency", events_file]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end" in out
+        assert "p99" in out
+
+    def test_latency_json(self, capsys, events_file):
+        assert main(["obs", "latency", events_file, "--json"]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["schema"] == "repro-latency/1"
+        assert table["jobs_completed"] == 1
+
+    def test_pool_table(self, capsys, series_file):
+        assert main(["obs", "pool", series_file]) == 0
+        out = capsys.readouterr().out
+        assert "match_rate" in out
+        assert "0.50" in out
+
+    def test_pool_limit(self, capsys, series_file):
+        assert main(["obs", "pool", series_file, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0.50" not in out
+        assert "1.00" in out
+
+    def test_report_section_filter(self, capsys, events_file):
+        assert main(["obs", "report", events_file, "--section", "kinds"]) == 0
+        out = capsys.readouterr().out
+        assert "events by kind" in out
+        assert "cycle  requests" not in out
+
+
+class TestChaosRecordingFlags:
+    def test_chaos_records_trace_and_series(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        series = str(tmp_path / "series.jsonl")
+        code = main(
+            ["chaos", "lossy", "--machines", "3", "--jobs", "4",
+             "--horizon", "1200", "--trace", trace, "--series", series]
+        )
+        assert code == 0, capsys.readouterr().out
+        from repro.obs.causal import check_dag
+        from repro.obs.causal import read_jsonl as read_trace
+        from repro.obs.timeseries import read_jsonl as read_series
+
+        spans = read_trace(trace)
+        assert check_dag(spans)  # connected, rooted — raises otherwise
+        assert read_series(series)
+
+    def test_chaos_emits_run_stats_for_report(self, capsys, tmp_path):
+        out = str(tmp_path / "events.jsonl")
+        assert main(
+            ["chaos", "lossy", "--machines", "3", "--jobs", "4",
+             "--horizon", "1200", "--out", out]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", out, "--section", "robustness"]) == 0
+        report = capsys.readouterr().out
+        assert "robustness" in report
+        assert "delivered" in report
+        assert "retries_sent" in report
