@@ -24,7 +24,7 @@ unparser, which is itself round-trip safe.
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Optional
 
 from .ast import Expr, ListExpr, Literal, RecordExpr
 from .classad import ClassAd
@@ -72,10 +72,18 @@ def _expr_from_json(obj: Any) -> Expr:
             source = obj["$expr"]
             if not isinstance(source, str):
                 raise SerializationError("$expr payload must be a string")
-            return parse(source)
-        return RecordExpr(
-            [(name, _expr_from_json(value)) for name, value in obj.items()]
-        )
+            try:
+                return parse(source)
+            except ClassAdException as exc:
+                raise SerializationError(
+                    f"$expr payload is not a classad expression: {exc}"
+                ) from exc
+        fields = []
+        for name, value in obj.items():
+            if not isinstance(name, str):
+                raise SerializationError("record field names must be strings")
+            fields.append((name, _expr_from_json(value)))
+        return RecordExpr(fields)
     raise SerializationError(f"cannot decode {type(obj).__name__} as a classad value")
 
 
@@ -96,13 +104,17 @@ def from_json_obj(obj: dict) -> ClassAd:
     return ad
 
 
-def dumps(ad: ClassAd, indent: int = None) -> str:
+def dumps(ad: ClassAd, indent: Optional[int] = None) -> str:
     """Serialize *ad* to a JSON string."""
     return json.dumps(to_json_obj(ad), indent=indent)
 
 
 def loads(text: str) -> ClassAd:
     """Deserialize a JSON string into a ClassAd."""
+    if not isinstance(text, str):
+        raise SerializationError(
+            f"loads() expects a JSON string, got {type(text).__name__}"
+        )
     try:
         obj = json.loads(text)
     except json.JSONDecodeError as exc:

@@ -300,7 +300,7 @@ def cmd_obs_record(args) -> int:
 
 
 #: ``repro obs report`` sections, in print order.
-REPORT_SECTIONS = ("cycles", "rejections", "robustness", "kinds")
+REPORT_SECTIONS = ("cycles", "rejections", "robustness", "parallel", "kinds")
 
 
 def cmd_obs_report(args) -> int:
@@ -329,6 +329,11 @@ def cmd_obs_report(args) -> int:
         print()
         print("robustness (network + retry/lease accounting):")
         for key, value in summary["robustness"].items():
+            print(f"  {key:<24} {value}")
+    if "parallel" in wanted and summary.get("parallel"):
+        print()
+        print("parallel scoring (worker-pool accounting):")
+        for key, value in summary["parallel"].items():
             print(f"  {key:<24} {value}")
     if "kinds" in wanted:
         print()
@@ -620,6 +625,16 @@ def cmd_chaos(args) -> int:
         obs.series.open_file(args.series)
     if args.no_retry:
         set_retries(False)
+    # Worker-pool recording: the chaos pools are tiny, so drop the pair
+    # threshold too — otherwise every class would fall back to serial
+    # and the recording would not exercise the parallel tier at all.
+    from .matchmaking import parallel as _parallel
+
+    workers_before = _parallel.scoring_workers()
+    threshold_before = _parallel.pair_threshold()
+    if args.workers:
+        _parallel.set_scoring_workers(args.workers)
+        _parallel.set_pair_threshold(0)
     try:
         specs = [
             MachineSpec(name=f"m{i}", mips=100.0 + 50.0 * (i % 3))
@@ -670,6 +685,9 @@ def cmd_chaos(args) -> int:
                     "schedd.leases_lost",
                     "schedd.duplicate_matches",
                     "machine.duplicate_claims",
+                    "parallel.chunks",
+                    "parallel.pairs_scored",
+                    "parallel.fallbacks",
                 )
                 if key in totals
             },
@@ -692,6 +710,10 @@ def cmd_chaos(args) -> int:
     finally:
         if args.no_retry:
             set_retries(None)
+        if args.workers:
+            _parallel.set_scoring_workers(workers_before)
+            _parallel.set_pair_threshold(threshold_before)
+            _parallel.shutdown_scoring_pool()
         obs.event_log.close_file()
         obs.causal_log.close_file()
         obs.series.close_file()
@@ -828,6 +850,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-retry",
         action="store_true",
         help="disable protocol retries/leases (demonstrates stranded work)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="score negotiation candidates on N worker processes "
+        "(0 = serial; recordings stay bitwise-deterministic either way)",
     )
     p.set_defaults(func=cmd_chaos)
 

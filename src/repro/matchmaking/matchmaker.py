@@ -31,6 +31,16 @@ the naive scan — same matches, same preemptions, same tie-breaks, and
 member from the per-class dispositions.  ``REPRO_NO_BATCH=1`` or
 :func:`set_batching` falls back to the naive reference path, mirroring
 PR 3's ``REPRO_NO_COMPILE`` switch.
+
+Since PR 7 the batched engine's per-class candidate construction can
+additionally fan out to a persistent pool of scoring worker *processes*
+(:mod:`.parallel`): constraint checks and bilateral rank evaluations for
+each ``(class, provider)`` pair run on every core, results are merged in
+deterministic provider order, and assignment/preemption/fair-share
+commit stays serial and unchanged — so parallel cycles are bit-for-bit
+identical to serial ones.  ``REPRO_SCORING_WORKERS=<n>`` opts in,
+``REPRO_NO_PARALLEL=1`` kills it, and small classes fall back to the
+serial scorer automatically (IPC overhead dominates tiny pools).
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from ..classads import ClassAd
 from ..classads.ast import Expr, Literal, external_references
 from ..classads.compile import cache_hits_total as _compiled_cache_hits, structural_key
 from ..obs import event_log as _events, metrics as _metrics, tracer as _tracer
+from . import parallel as _parallel
 from .accounting import Accountant
 from .diagnose import attribute_failure
 from .index import MaintainedIndex, ProviderIndex
@@ -168,6 +179,9 @@ class CycleStats:
     constraint_evaluations_saved: int = 0  # by index pre-filtering
     request_classes: int = 0  # equivalence classes built (0 on the naive path)
     pairings_saved: int = 0  # (request, provider) pairings served from a class
+    parallel_chunks: int = 0  # worker chunks engaged by class builds
+    parallel_pairs_scored: int = 0  # pairs evaluated in worker processes
+    parallel_fallbacks: int = 0  # class builds scored serially despite config
 
 
 # Backwards-compatible aliases: these classification helpers moved to
@@ -314,6 +328,7 @@ def negotiation_cycle(
     index: Optional[ProviderIndex] = None,
     stats: Optional[CycleStats] = None,
     batch: Optional[bool] = None,
+    parallel: Optional[bool] = None,
 ) -> List[Assignment]:
     """Run one negotiation cycle and return the assignments.
 
@@ -339,6 +354,13 @@ def negotiation_cycle(
     produce identical assignments; the batched one evaluates each
     distinct (class, provider) pairing once.
 
+    ``parallel`` likewise overrides the parallel-scoring switch (None
+    follows :func:`.parallel.parallelism_enabled`); it engages only on
+    the batched path, only when ``REPRO_SCORING_WORKERS`` configures a
+    worker pool, and only for classes whose candidate pool clears the
+    pair-count threshold — everything else scores serially, and the
+    results are identical either way.
+
     The cycle only *identifies* matches; claiming is the parties' own
     business (separation of matching and claiming).
     """
@@ -353,6 +375,11 @@ def negotiation_cycle(
     base_classes = stats.request_classes
     base_pairings = stats.pairings_saved
     use_batch = _BATCH_ENABLED if batch is None else bool(batch)
+    # Parallel scoring rides on the batched engine only: the naive path
+    # is the semantic reference and stays single-core by construction.
+    scoring = (
+        _parallel.cycle_scoring(providers, enabled=parallel) if use_batch else None
+    )
     submitters = list(requests_by_submitter.keys())
     if accountant is not None:
         submitters = accountant.negotiation_order(submitters)
@@ -563,7 +590,14 @@ def negotiation_cycle(
 
     def _build_class(rep: ClassAd) -> _ClassState:
         """Evaluate every (class, provider) pairing once, exactly in the
-        naive path's check order, and record the outcome."""
+        naive path's check order, and record the outcome.
+
+        With a scoring pool attached, the per-pair evaluations fan out
+        to worker processes and come back as outcome tuples in candidate
+        order; the serial loop below is both the fallback (small
+        classes, kill-switch, worker failure) and the semantic
+        reference — outcome tuples are interchangeable between the two.
+        """
         if index is not None:
             pool = index.candidates_for(rep, policy)
         else:
@@ -572,6 +606,19 @@ def negotiation_cycle(
         dispositions: Optional[List[Optional[Tuple]]] = (
             [None] * len(pool) if emit_events else None
         )
+        if scoring is not None:
+            outcomes = scoring.score_class(rep, pool, policy, allow_preemption)
+            if outcomes is not None:
+                for pid, outcome in enumerate(outcomes):
+                    if outcome[0] == "ok":
+                        _, customer_rank, provider_rank, preempts = outcome
+                        cands.append(
+                            (customer_rank, provider_rank, -pid, pool[pid], preempts)
+                        )
+                    elif emit_events:
+                        dispositions[pid] = outcome
+                cands.sort(reverse=True)
+                return _ClassState(pool, cands, dispositions)
         for pid, provider in enumerate(pool):
             availability, owner, current = _provider_state(provider)
             if availability == "unavailable":
@@ -732,6 +779,10 @@ def negotiation_cycle(
                     try_match(submitter, request)
         cycle_span.annotate(matched=stats.matched, preemptions=stats.preemptions)
 
+    if scoring is not None:
+        stats.parallel_chunks += scoring.chunks
+        stats.parallel_pairs_scored += scoring.pairs
+        stats.parallel_fallbacks += scoring.fallbacks
     if _metrics.enabled:
         requests_seen = stats.requests_considered - base_requests
         matched = stats.matched - base_matched
@@ -761,6 +812,12 @@ def negotiation_cycle(
             # (both 0 on the naive path).
             request_classes=stats.request_classes - base_classes,
             pairings_saved=stats.pairings_saved - base_pairings,
+            # Parallel-scoring yield: configured worker count and chunks
+            # dispatched this cycle (both 0 when scoring stayed serial).
+            # Like duration_s these describe *how* the cycle computed,
+            # not what it decided — differential suites normalize them.
+            workers=scoring.workers if scoring is not None else 0,
+            chunks=scoring.chunks if scoring is not None else 0,
             duration_s=time.perf_counter() - start,
         )
     return assignments
@@ -861,8 +918,15 @@ class Matchmaker:
         allow_preemption: bool = True,
         use_index: bool = False,
         stats: Optional[CycleStats] = None,
+        parallel: Optional[bool] = None,
     ) -> List[Assignment]:
-        """One negotiation cycle over the stored provider ads."""
+        """One negotiation cycle over the stored provider ads.
+
+        ``parallel`` overrides the parallel-scoring switch for this
+        cycle; the worker pool itself is persistent (spawned on first
+        parallel cycle, reused by every later one — see
+        :meth:`scoring_pool`).
+        """
         if use_index:
             mindex = self.provider_index(provider_constraint)
             providers: Sequence[ClassAd] = mindex.providers()
@@ -878,4 +942,13 @@ class Matchmaker:
             allow_preemption=allow_preemption,
             index=index,
             stats=stats,
+            parallel=parallel,
         )
+
+    def scoring_pool(self):
+        """The persistent scoring worker pool this matchmaker's cycles
+        use, or None when ``REPRO_SCORING_WORKERS`` leaves scoring
+        serial.  The pool is shared process-wide (workers hold no
+        per-matchmaker state between commands) and is shut down and
+        respawned when the worker count changes."""
+        return _parallel.scoring_pool()

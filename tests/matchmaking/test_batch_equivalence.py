@@ -187,7 +187,7 @@ class TestEventStreamParity:
                 accountant=accountant,
             )
             variable = {"cycle", "batched", "duration_s", "evals_saved",
-                        "request_classes", "pairings_saved"}
+                        "request_classes", "pairings_saved", "workers", "chunks"}
             return [
                 (
                     e.kind,
