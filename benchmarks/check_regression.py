@@ -35,6 +35,10 @@ GATED = {
         "parallel_cycle_speedup",
     ),
     "EVAL_compile": ("warm_speedup",),
+    # PR 8: the refresh fast path must keep beating full re-advertising
+    # on steady-state collector ingest (baseline seeded at 2.5 so the
+    # default 20% tolerance floor equals the 2x acceptance bar).
+    "ADV_advertising": ("advertising_ingest_speedup",),
 }
 
 

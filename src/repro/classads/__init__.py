@@ -42,6 +42,7 @@ from .compile import (
 )
 from .errors import ClassAdException, EvaluationLimitExceeded, LexerError, ParseError
 from .parser import parse, parse_record
+from .fingerprint import ad_wire_size, fingerprint, payload_equal
 from .serialize import SerializationError, dumps, from_json_obj, loads, to_json_obj
 from .unparse import unparse, unparse_classad
 from .values import (
@@ -92,8 +93,11 @@ __all__ = [
     "is_true",
     "is_undefined",
     "SerializationError",
+    "ad_wire_size",
     "dumps",
+    "fingerprint",
     "from_json_obj",
+    "payload_equal",
     "loads",
     "parse",
     "parse_record",

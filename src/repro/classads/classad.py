@@ -64,7 +64,7 @@ class ClassAd:
     * Insertion order is preserved for faithful unparsing.
     """
 
-    __slots__ = ("_fields", "_names", "_ccache")
+    __slots__ = ("_fields", "_names", "_ccache", "_fpcache")
 
     def __init__(self, fields: Union[None, Mapping, Iterable[Tuple[str, Any]]] = None):
         # _fields maps canonical (lowercase) name -> Expr;
@@ -72,9 +72,13 @@ class ClassAd:
         # _ccache lazily maps canonical name -> (Expr, compiled closure);
         # owned by repro.classads.compile, entries validated by expression
         # identity and dropped on rebinding.
+        # _fpcache is owned by repro.classads.fingerprint: serialized
+        # per-attribute payloads, content fingerprints, and the wire-size
+        # estimate, all dropped wholesale on any mutation.
         self._fields: Dict[str, Expr] = {}
         self._names: Dict[str, str] = {}
         self._ccache: Optional[dict] = None
+        self._fpcache: Optional[dict] = None
         if fields is not None:
             items = fields.items() if isinstance(fields, Mapping) else fields
             for name, value in items:
@@ -89,6 +93,7 @@ class ClassAd:
         self._fields[key] = _value_to_expr(value)
         if self._ccache is not None:
             self._ccache.pop(key, None)
+        self._fpcache = None
 
     def __getitem__(self, name: str) -> Expr:
         expr = self._fields.get(name.lower())
@@ -104,6 +109,7 @@ class ClassAd:
         del self._names[key]
         if self._ccache is not None:
             self._ccache.pop(key, None)
+        self._fpcache = None
 
     def __contains__(self, name: object) -> bool:
         return isinstance(name, str) and name.lower() in self._fields

@@ -1,0 +1,155 @@
+"""Content fingerprints over the classad wire form.
+
+The advertising fast path (PR 8) needs a cheap, stable answer to "is
+this ad the same one I sent last period?" — Robinson & DeWitt's
+database framing of the pool makes re-advertisement a no-op update, and
+no-op updates are detected by content hashing.  The fingerprint here is
+a :mod:`blake2b` digest over the :mod:`repro.classads.serialize` wire
+form, canonicalized so that it respects the language's equality rules
+at the top level:
+
+* top-level attribute *order* is ignored (payloads are hashed in sorted
+  canonical-name order);
+* top-level attribute name *case* is ignored (canonical names are the
+  lower-cased spellings);
+* everything below the top level rides through the serializer verbatim,
+  so nested structure, expression shape, and literal *types* all count
+  — the fingerprint is strictly finer than ``ClassAd.__eq__`` (which
+  conflates ``3``, ``3.0`` and ``true``).  Finer is the safe direction:
+  a spurious difference costs one full advertisement, never a wrong
+  skip.
+
+``exclude`` names attributes whose *values* are left out of the hash
+(the advertising protocol's volatile attributes — ``LoadAvg``,
+``KeyboardIdle``, ``DayTime``, ``AdvertisedAt`` — which change every
+period by construction and ride the compact ``Refresh`` message
+instead).  Excluded attributes still contribute their *presence*: an ad
+that drops a volatile attribute fingerprints differently from one that
+carries it, so the refresh fast path can never mask an attribute
+appearing or disappearing.
+
+All derived forms (per-attribute payload strings, digests per exclusion
+set, the wire-size estimate) are cached on the ad itself (the
+``_fpcache`` slot) and invalidated wholesale by any mutation, so the
+serialization cost is paid once per distinct ad content.
+"""
+
+from __future__ import annotations
+
+import json
+from hashlib import blake2b
+from typing import Dict, FrozenSet, Iterable
+
+from .ast import Expr, ListExpr, Literal, RecordExpr
+from .classad import ClassAd
+from .serialize import _expr_to_json
+
+_NO_EXCLUDE: FrozenSet[str] = frozenset()
+
+#: Marker hashed in place of an excluded attribute's payload.  It can
+#: never collide with a real payload (JSON strings cannot contain a
+#: raw NUL) so presence-without-value is unambiguous.
+_VOLATILE_MARKER = b"\x00volatile"
+
+
+def _payloads(ad: ClassAd) -> Dict[str, str]:
+    """Per-attribute compact-JSON payload strings, canonical-name keyed."""
+    cache = ad._fpcache
+    if cache is None:
+        cache = ad._fpcache = {}
+    payloads = cache.get("payloads")
+    if payloads is None:
+        payloads = cache["payloads"] = {
+            key: json.dumps(_expr_to_json(expr), separators=(",", ":"))
+            for key, expr in ad._fields.items()
+        }
+    return payloads
+
+
+def fingerprint(ad: ClassAd, exclude: Iterable[str] = _NO_EXCLUDE) -> str:
+    """Stable content hash of *ad*'s wire form.
+
+    ``exclude`` attributes contribute presence but not value (see the
+    module docstring).  Cached per (ad, exclusion set); any mutation of
+    the ad invalidates the cache.
+    """
+    if exclude is _NO_EXCLUDE:
+        exclude_set = _NO_EXCLUDE
+    else:
+        exclude_set = frozenset(name.lower() for name in exclude)
+    payloads = _payloads(ad)
+    cache = ad._fpcache
+    cache_key = ("fp", exclude_set)
+    cached = cache.get(cache_key)
+    if cached is not None:
+        return cached
+    digest = blake2b(digest_size=16)
+    for name in sorted(payloads):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"=")
+        if name in exclude_set:
+            digest.update(_VOLATILE_MARKER)
+        else:
+            digest.update(payloads[name].encode("utf-8"))
+        digest.update(b";")
+    result = digest.hexdigest()
+    cache[cache_key] = result
+    return result
+
+
+def ad_wire_size(ad: ClassAd) -> int:
+    """Estimated serialized size of *ad* in bytes (names + payloads +
+    framing), for the network's bytes-on-wire accounting.  Cached with
+    the fingerprint payloads."""
+    payloads = _payloads(ad)
+    cache = ad._fpcache
+    size = cache.get("size")
+    if size is None:
+        size = cache["size"] = 2 + sum(
+            len(name) + len(payload) + 4 for name, payload in payloads.items()
+        )
+    return size
+
+
+def payload_equal(a: Expr, b: Expr) -> bool:
+    """Whether two expressions serialize to the *same wire payload*.
+
+    This is the sender-side change detector for the refresh fast path:
+    it must be exactly as fine as :func:`fingerprint` (which hashes the
+    serialized form), so it compares literal types — ``3`` vs ``3.0``
+    differs here even though ``==`` conflates them.  Every ``True``
+    answer is provable payload equality; anything uncertain answers
+    ``False``, which merely costs a full advertisement.
+    """
+    if a is b:
+        return True
+    if isinstance(a, Literal) or isinstance(b, Literal):
+        if not (isinstance(a, Literal) and isinstance(b, Literal)):
+            return False
+        va, vb = a.value, b.value
+        if type(va) is not type(vb):
+            return False
+        if isinstance(va, float) and (va != va or vb != vb):
+            # NaN never equals itself; treat as changed (conservative).
+            return False
+        return va == vb
+    if isinstance(a, ListExpr):
+        if not isinstance(b, ListExpr) or len(a.items) != len(b.items):
+            return False
+        return all(map(payload_equal, a.items, b.items))
+    if isinstance(a, RecordExpr):
+        if not isinstance(b, RecordExpr) or len(a.fields) != len(b.fields):
+            return False
+        # Nested records serialize with original spelling and order, so
+        # the comparison is spelling- and order-exact.
+        return all(
+            na == nb and payload_equal(ea, eb)
+            for (na, ea), (nb, eb) in zip(a.fields, b.fields)
+        )
+    if type(a) is not type(b):
+        return False
+    # Operator/reference nodes serialize through the unparser; compare
+    # the unparsed source, which is deterministic per AST.
+    from .unparse import unparse
+
+    return unparse(a) == unparse(b)

@@ -13,13 +13,20 @@ advertisements does not rebuild — experiment E1's claim.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..classads import ClassAd
 from ..matchmaking import MaintainedIndex, select
 from ..obs import event_log as _events, metrics as _metrics
 from ..obs.causal import TraceContext, causal_log as _causal
-from ..protocols import AdStore, Advertisement, Withdrawal, validate_ad
+from ..protocols import (
+    AdStore,
+    Advertisement,
+    Refresh,
+    ResendRequest,
+    Withdrawal,
+    validate_ad,
+)
 from ..sim import Network, Simulator, Trace
 
 _COL_RECEIVED = _metrics.counter(
@@ -36,6 +43,17 @@ _COL_EXPIRED = _metrics.counter(
 )
 _COL_STORE_SIZE = _metrics.gauge(
     "collector.store_size", "ads currently held by the collector"
+)
+_COL_REFRESH_HITS = _metrics.counter(
+    "collector.refresh_hits",
+    "compact refreshes honoured in place (lease renewed, no re-validation)",
+)
+_COL_REFRESH_MISSES = _metrics.counter(
+    "collector.refresh_misses",
+    "refreshes naming an unknown, expired, or content-changed ad",
+)
+_COL_RESEND_REQUESTS = _metrics.counter(
+    "collector.resend_requests", "resync NACKs sent back to refreshing agents"
 )
 
 
@@ -66,6 +84,18 @@ class Collector:
         # match notifications here, stitching the job's trace across
         # the store.  Dropped with the ad (withdraw/expiry/crash).
         self._ad_ctx: Dict[str, TraceContext] = {}
+        # Incremental pool composition (PR 8): kind/state of every stored
+        # ad, classified once at admit time, so sample_pool answers from
+        # counters instead of re-evaluating Type/State over the store.
+        self._kind: Dict[str, Tuple[str, str]] = {}
+        self._state_counts: Dict[str, int] = {}
+        self._n_machines = 0
+        self._n_jobs = 0
+        # Cached per-submitter job grouping: rebuilt only when a job ad
+        # is admitted, withdrawn, or expired; per-ad Owner/order keys are
+        # reused across rebuilds while the ad's fingerprint is unchanged.
+        self._grouped: Optional[Dict[str, List[ClassAd]]] = None
+        self._job_keys: Dict[str, tuple] = {}
         net.register(self.address, self._on_message)
         sim.every(expire_interval, self._expire)
 
@@ -74,8 +104,11 @@ class Collector:
     def _on_message(self, message) -> None:
         if isinstance(message, Advertisement):
             self._on_advertisement(message)
+        elif isinstance(message, Refresh):
+            self._on_refresh(message)
         elif isinstance(message, Withdrawal):
-            self.store.remove(message.name)
+            if self.store.remove(message.name, tombstone=message.sequence):
+                self._counts_drop(message.name)
             self._ad_ctx.pop(message.name, None)
             if self._mindex is not None:
                 self._mindex.withdraw(message.name)
@@ -100,9 +133,13 @@ class Collector:
             now=self.sim.now,
             lifetime=message.lifetime,
             sequence=message.sequence,
+            fingerprint=message.fingerprint,
         )
         if admitted:
             self.ads_admitted += 1
+            if had_prior:
+                self._counts_drop(message.name)
+            self._counts_add(message.name, message.ad)
             if _causal.enabled:
                 ctx = _causal.current()
                 if ctx is not None:
@@ -124,16 +161,132 @@ class Collector:
                 lifetime=message.lifetime,
             )
 
+    def _on_refresh(self, message: Refresh) -> None:
+        """A compact re-advertisement claiming the stored ad is current.
+
+        A hit only renews the soft-state lease and applies the carried
+        volatile values in place — no validation, no store replacement,
+        no index delta, no causal bookkeeping.  Anything the collector
+        cannot vouch for (unknown name, expired ad, fingerprint mismatch
+        — e.g. after a crash wiped the store) is answered with a
+        :class:`ResendRequest`; the sender's next full advertisement
+        restores state within one round trip.
+        """
+        _COL_RECEIVED.inc()
+        if self.store.withdrawn_after(message.name, message.sequence):
+            # Late copy of an ad withdrawn since it was sent: drop it as
+            # stale (same observable outcome as the full-ad path, where
+            # the reordered Advertisement dies on the tombstone).
+            if _events.enabled:
+                _events.emit(
+                    "ad.arrived",
+                    t=self.sim.now,
+                    name=message.name,
+                    admitted=False,
+                    lifetime=message.lifetime,
+                )
+            return
+        rec = self.store.record(message.name)
+        if rec is None or rec.fingerprint != message.fingerprint:
+            _COL_REFRESH_MISSES.inc()
+            _COL_RESEND_REQUESTS.inc()
+            self.net.send(
+                ResendRequest(
+                    sender=self.address,
+                    recipient=message.sender,
+                    name=message.name,
+                )
+            )
+            return
+        renewed = self.store.touch(
+            message.name,
+            now=self.sim.now,
+            lifetime=message.lifetime,
+            sequence=message.sequence,
+        )
+        if renewed:
+            _COL_REFRESH_HITS.inc()
+            ad = rec.ad
+            for attr, value in message.volatile:
+                ad[attr] = value
+            # The maintained index only needs to hear about the renewal
+            # if a volatile attribute participates in it (none of the
+            # default equality/range attributes are volatile).
+            if self._mindex is not None and message.volatile:
+                idx = self._mindex.index
+                indexed = idx.equality_attrs | idx.range_attrs
+                if any(attr.lower() in indexed for attr, _ in message.volatile):
+                    if not self._mindex.advertise(
+                        message.name, ad, had_prior=True
+                    ):
+                        self._mindex = None
+        if _events.enabled:
+            _events.emit(
+                "ad.arrived",
+                t=self.sim.now,
+                name=message.name,
+                admitted=bool(renewed),
+                lifetime=message.lifetime,
+            )
+
     def _expire(self) -> None:
         expired = self.store.expire(self.sim.now)
         for name in expired:
             self.trace.emit(self.sim.now, "ad-expired", name=name)
+            self._counts_drop(name)
             self._ad_ctx.pop(name, None)
             if self._mindex is not None:
                 self._mindex.withdraw(name)
         if expired and _metrics.enabled:
             _COL_EXPIRED.inc(len(expired))
             _COL_STORE_SIZE.set(len(self.store))
+
+    # -- incremental pool composition -------------------------------------
+
+    @staticmethod
+    def _classify(ad: ClassAd) -> Tuple[str, str]:
+        """(kind, state-key) of *ad*, matching the semantics of the
+        ``Type == "Machine"`` / ``Type == "Job"`` selections (classad
+        string equality is case-insensitive)."""
+        kind = ad.evaluate("Type")
+        kind = kind.lower() if isinstance(kind, str) else ""
+        if kind == "machine":
+            state = ad.evaluate("State")
+            return "machine", state.lower() if isinstance(state, str) else "unknown"
+        if kind == "job":
+            return "job", ""
+        return "", ""
+
+    def _counts_add(self, name: str, ad: ClassAd) -> None:
+        kind, state = self._classify(ad)
+        self._kind[name] = (kind, state)
+        if kind == "machine":
+            self._n_machines += 1
+            self._state_counts[state] = self._state_counts.get(state, 0) + 1
+        elif kind == "job":
+            self._n_jobs += 1
+            self._grouped = None
+
+    def _counts_drop(self, name: str) -> None:
+        kind, state = self._kind.pop(name, ("", ""))
+        if kind == "machine":
+            self._n_machines -= 1
+            self._state_counts[state] -= 1
+        elif kind == "job":
+            self._n_jobs -= 1
+            self._grouped = None
+            self._job_keys.pop(name, None)
+
+    def _recount(self) -> None:
+        """Rebuild the composition counts from the store (safety net for
+        out-of-band store mutation, e.g. tests poking ``store`` directly)."""
+        self._kind.clear()
+        self._state_counts.clear()
+        self._n_machines = 0
+        self._n_jobs = 0
+        self._grouped = None
+        for rec in self.store.records():
+            self._counts_add(rec.name, rec.ad)
 
     # -- queries ----------------------------------------------------------
 
@@ -159,15 +312,44 @@ class Collector:
         return select(self.store.ads(), 'Type == "Job"')
 
     def job_ads_by_owner(self) -> Dict[str, List[ClassAd]]:
-        """Idle request ads grouped per submitter, queue order preserved."""
-        grouped: Dict[str, List[ClassAd]] = defaultdict(list)
-        for ad in self.job_ads():
-            owner = ad.evaluate("Owner")
-            if isinstance(owner, str):
-                grouped[owner].append(ad)
-        for ads in grouped.values():
-            ads.sort(key=_job_order_key)
-        return dict(grouped)
+        """Idle request ads grouped per submitter, queue order preserved.
+
+        The grouped view is cached between calls and invalidated only
+        when a job ad is admitted, withdrawn, or expired — refresh hits
+        leave it untouched, so steady-state negotiation cycles reuse it
+        outright.  On rebuild, each ad's parsed ``Owner``/queue-order
+        key is reused while its stored fingerprint is unchanged.
+        """
+        if len(self._kind) != len(self.store):
+            self._recount()
+        if self._grouped is None:
+            grouped: Dict[str, List[ClassAd]] = defaultdict(list)
+            kinds = self._kind
+            keys: Dict[str, tuple] = {}
+            for rec in self.store.records():
+                if kinds.get(rec.name, ("", ""))[0] != "job":
+                    continue
+                cached = self._job_keys.get(rec.name)
+                if (
+                    cached is not None
+                    and cached[0] is not None
+                    and cached[0] == rec.fingerprint
+                ):
+                    _, owner, order_key = cached
+                else:
+                    raw = rec.ad.evaluate("Owner")
+                    owner = raw if isinstance(raw, str) else None
+                    order_key = _job_order_key(rec.ad)
+                keys[rec.name] = (rec.fingerprint, owner, order_key)
+                if owner is not None:
+                    grouped[owner].append((order_key, rec.ad))
+            self._job_keys = keys
+            self._grouped = {
+                owner: [ad for _, ad in sorted(pairs, key=lambda p: p[0])]
+                for owner, pairs in grouped.items()
+            }
+        # Fresh lists so callers cannot corrupt the cached view.
+        return {owner: list(ads) for owner, ads in self._grouped.items()}
 
     def ad_context(self, name: str) -> Optional[TraceContext]:
         """Causal context of the admitted ad *name* (None if untraced)."""
@@ -181,19 +363,16 @@ class Collector:
 
         if not _series.enabled:
             return
-        by_state: Dict[str, int] = {}
-        machines = self.machine_ads()
-        for ad in machines:
-            state = ad.evaluate("State")
-            key = state.lower() if isinstance(state, str) else "unknown"
-            by_state[key] = by_state.get(key, 0) + 1
+        if len(self._kind) != len(self.store):
+            self._recount()
+        by_state = self._state_counts
         _series.sample(
             t=self.sim.now,
-            machines=len(machines),
+            machines=self._n_machines,
             owner=by_state.get("owner", 0),
             unclaimed=by_state.get("unclaimed", 0),
             claimed=by_state.get("claimed", 0),
-            jobs_idle=len(self.job_ads()),
+            jobs_idle=self._n_jobs,
             store_size=len(self.store),
             **cycle_fields,
         )
@@ -216,6 +395,12 @@ class Collector:
         self.net.set_down(self.address)
         self.store.clear()
         self._ad_ctx.clear()
+        self._kind.clear()
+        self._state_counts.clear()
+        self._n_machines = 0
+        self._n_jobs = 0
+        self._grouped = None
+        self._job_keys.clear()
         if self._mindex is not None:
             self._mindex.clear()
         self.trace.emit(self.sim.now, "collector-crash")

@@ -17,10 +17,26 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..classads import ClassAd
+from ..classads import ClassAd, parse
 from .states import JobState
 
 _job_ids = itertools.count(1)
+
+#: Parsed Constraint/Rank expressions shared across every request ad
+#: built from the same source text — jobs overwhelmingly use the two
+#: defaults, and re-advertisement rebuilds the ad every period.  Shared
+#: Expr objects also let the refresh fast path's change detector answer
+#: by identity.  Bounded defensively; expressions are immutable.
+_policy_memo: dict = {}
+
+
+def _parsed_policy(source: str):
+    expr = _policy_memo.get(source)
+    if expr is None:
+        if len(_policy_memo) > 4096:
+            _policy_memo.clear()
+        expr = _policy_memo[source] = parse(source)
+    return expr
 
 #: Reference speed against which job work is expressed.
 REFERENCE_MIPS = 100.0
@@ -103,8 +119,8 @@ class Job:
                 "AdvertisedAt": now,
             }
         )
-        ad.set_expr("Constraint", self.constraint)
-        ad.set_expr("Rank", self.rank)
+        ad["Constraint"] = _parsed_policy(self.constraint)
+        ad["Rank"] = _parsed_policy(self.rank)
         return ad
 
 

@@ -29,23 +29,30 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from ..classads import ClassAd, rank_value
+from ..classads import ClassAd, fingerprint, parse, rank_value
 from ..matchmaking.match import DEFAULT_POLICY, MatchPolicy, constraints_satisfied
 from ..obs import event_log as _events, metrics as _metrics
 from ..obs.causal import TraceContext, causal_log as _causal
 from ..protocols import (
+    VOLATILE_MACHINE_ATTRS,
     Advertisement,
     BackoffPolicy,
     ClaimRequest,
     ClaimResponse,
     MatchNotification,
+    Refresh,
     ReleaseNotice,
+    ResendRequest,
     Retransmitter,
     TicketAuthority,
     embed_ticket,
+    refresh_enabled,
     retries_enabled,
+    stable_equal,
     verify_claim,
+    volatile_values,
 )
+from ..protocols.advertising import ADV_FULL_ADS, ADV_REFRESHES
 from ..protocols.claiming import ClaimVerdict
 from ..sim import Network, Simulator, Trace
 from .jobs import REFERENCE_MIPS
@@ -73,6 +80,10 @@ _REPLAY_CAP = 512
 #: from Figure-1-style policies pass their own constraint).
 DEFAULT_MACHINE_CONSTRAINT = 'other.Type == "Job"'
 DEFAULT_MACHINE_RANK = "0"
+
+#: The Owner-state START policy, parsed once and shared by every ad
+#: build (shared Expr objects hit the change detector's identity check).
+_FALSE_EXPR = parse("false")
 
 
 @dataclass
@@ -171,6 +182,16 @@ class MachineAgent:
         self.crashed = False
         self._owner_last_departure = sim.now
         self._sequence = 0
+        # Refresh fast path: the last full ad sent and its fingerprint
+        # (stable attributes only); while the current state still
+        # matches, the periodic advertiser sends a compact Refresh.
+        self._last_ad: Optional[ClassAd] = None
+        self._last_fp: Optional[str] = None
+        self._last_full_at: float = -1.0
+        # Policy expressions parsed once per source text, not per build.
+        self._policy_src: Optional[tuple] = None
+        self._constraint_expr = None
+        self._rank_expr = None
         self._pending_notices = {}
         # Receiver-side duplicate suppression (retransmits are blind, so
         # the RA must answer repeats idempotently): verdicts by
@@ -316,12 +337,17 @@ class MachineAgent:
         )
         for key, value in self.spec.extra_attrs.items():
             ad[key] = value
+        src = (self.spec.constraint, self.spec.rank)
+        if src != self._policy_src:
+            self._policy_src = src
+            self._constraint_expr = parse(src[0])
+            self._rank_expr = parse(src[1])
         if self.state is MachineState.OWNER:
             # Owner present: the START policy is unsatisfiable, full stop.
-            ad.set_expr("Constraint", "false")
+            ad["Constraint"] = _FALSE_EXPR
         else:
-            ad.set_expr("Constraint", self.spec.constraint)
-        ad.set_expr("Rank", self.spec.rank)
+            ad["Constraint"] = self._constraint_expr
+        ad["Rank"] = self._rank_expr
         if self.claim is not None:
             ad["RemoteOwner"] = str(self.claim.job_ad.evaluate("Owner"))
             ad["CurrentRank"] = self.claim.rank
@@ -333,14 +359,47 @@ class MachineAgent:
     def advertise(self) -> None:
         self._sequence += 1
         seq = self._sequence
-        message = Advertisement(
-            sender=self.address,
-            recipient=self.collector_address,
-            name=f"machine.{self.spec.name}",
-            ad=self.build_ad(),
-            lifetime=self.ad_lifetime,
-            sequence=seq,
-        )
+        ad = self.build_ad()
+        message = None
+        if (
+            refresh_enabled()
+            and self._last_fp is not None
+            # Never refresh at the instant the referenced full ad was
+            # sent: latency jitter could deliver the Refresh first and
+            # force a needless resync round trip.
+            and self.sim.now > self._last_full_at
+            and stable_equal(ad, self._last_ad, VOLATILE_MACHINE_ATTRS)
+        ):
+            volatile = volatile_values(ad, VOLATILE_MACHINE_ATTRS)
+            if volatile is not None:
+                ADV_REFRESHES.inc()
+                message = Refresh(
+                    sender=self.address,
+                    recipient=self.collector_address,
+                    name=f"machine.{self.spec.name}",
+                    fingerprint=self._last_fp,
+                    lifetime=self.ad_lifetime,
+                    sequence=seq,
+                    volatile=volatile,
+                )
+        if message is None:
+            if refresh_enabled():
+                self._last_ad = ad
+                self._last_fp = fingerprint(ad, exclude=VOLATILE_MACHINE_ATTRS)
+                self._last_full_at = self.sim.now
+            else:
+                self._last_ad = None
+                self._last_fp = None
+            ADV_FULL_ADS.inc()
+            message = Advertisement(
+                sender=self.address,
+                recipient=self.collector_address,
+                name=f"machine.{self.spec.name}",
+                ad=ad,
+                lifetime=self.ad_lifetime,
+                sequence=seq,
+                fingerprint=self._last_fp,
+            )
         # Retransmit unless a newer ad has superseded this one (the
         # collector would drop the stale sequence anyway) or we died.
         self._ad_retx.send(
@@ -367,10 +426,23 @@ class MachineAgent:
             )
         elif isinstance(message, ReleaseNotice):
             self._on_release(message)
+        elif isinstance(message, ResendRequest):
+            self._on_resend_request(message)
         elif isinstance(message, NoticeAck):
             self._pending_notices.pop(message.match_id, None)
         elif isinstance(message, KeepAlive):
             self._on_keepalive(message)
+
+    def _on_resend_request(self, message: ResendRequest) -> None:
+        """The collector cannot honour our Refresh (it crashed, expired
+        the ad, or saw a different fingerprint): forget the cached state
+        and re-advertise in full immediately — the one-round-trip resync
+        that keeps crash recovery within an advertising period."""
+        if message.name != f"machine.{self.spec.name}" or self.crashed:
+            return
+        self._last_ad = None
+        self._last_fp = None
+        self.advertise()
 
     def _on_keepalive(self, message: KeepAlive) -> None:
         claim = self.claim
@@ -693,6 +765,10 @@ class MachineAgent:
         self._pending_notices.clear()
         self._claim_verdicts.clear()
         self._seen_notifications.clear()
+        # The collector may expire our ad while we are down: the first
+        # post-restart advertisement must be a full one.
+        self._last_ad = None
+        self._last_fp = None
         self.trace.emit(self.sim.now, "machine-crash", machine=self.spec.name)
 
     def restart(self) -> None:

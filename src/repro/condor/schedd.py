@@ -24,20 +24,27 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..classads import ClassAd
+from ..classads import ClassAd, fingerprint
 from ..obs import metrics as _metrics, tracer as _tracer
 from ..obs.causal import TraceContext, causal_log as _causal, job_trace_id
 from ..protocols import (
+    VOLATILE_JOB_ATTRS,
     Advertisement,
     BackoffPolicy,
     ClaimRequest,
     ClaimResponse,
     MatchNotification,
+    Refresh,
     ReleaseNotice,
+    ResendRequest,
     Retransmitter,
     Withdrawal,
+    refresh_enabled,
     retries_enabled,
+    stable_equal,
+    volatile_values,
 )
+from ..protocols.advertising import ADV_FULL_ADS, ADV_REFRESHES
 from ..sim import Network, PoolMetrics, Simulator, Trace
 from .jobs import Job
 from .messages import JobCompleted, JobEvicted, KeepAlive, LeaseAck, NoticeAck
@@ -140,6 +147,10 @@ class CustomerAgent:
         self._job_ctx: Dict[int, TraceContext] = {}
         # collectors each job's ad has been sent to (for withdrawal)
         self._advertised_to: Dict[int, set] = {}
+        # Refresh fast path: last full ad + fingerprint per
+        # (job id, collector) — flocked collectors are courted
+        # separately, so each needs its own full ad before refreshes.
+        self._ad_cache: Dict[tuple, tuple] = {}
         self._sequence = 0
         retry_rng = rng.fork("retry") if rng is not None else None
         #: Claim requests are retransmitted inside the claim-timeout
@@ -312,14 +323,47 @@ class CustomerAgent:
     def _advertise_job(self, job: Job, collector: Optional[str] = None) -> None:
         collector = collector if collector is not None else self.collector_address
         self._sequence += 1
-        message = Advertisement(
-            sender=self.address,
-            recipient=collector,
-            name=self._ad_name(job),
-            ad=job.to_classad(self.address, self.sim.now),
-            lifetime=self.ad_lifetime,
-            sequence=self._sequence,
-        )
+        ad = job.to_classad(self.address, self.sim.now)
+        key = (job.job_id, collector)
+        cached = self._ad_cache.get(key) if refresh_enabled() else None
+        message = None
+        # Same-instant guard: never refresh at the moment the referenced
+        # full ad was sent — latency jitter could deliver the Refresh
+        # first and force a needless resync round trip.
+        if (
+            cached is not None
+            and self.sim.now > cached[2]
+            and stable_equal(ad, cached[0], VOLATILE_JOB_ATTRS)
+        ):
+            volatile = volatile_values(ad, VOLATILE_JOB_ATTRS)
+            if volatile is not None:
+                ADV_REFRESHES.inc()
+                message = Refresh(
+                    sender=self.address,
+                    recipient=collector,
+                    name=self._ad_name(job),
+                    fingerprint=cached[1],
+                    lifetime=self.ad_lifetime,
+                    sequence=self._sequence,
+                    volatile=volatile,
+                )
+        if message is None:
+            if refresh_enabled():
+                fp = fingerprint(ad, exclude=VOLATILE_JOB_ATTRS)
+                self._ad_cache[key] = (ad, fp, self.sim.now)
+            else:
+                self._ad_cache.pop(key, None)
+                fp = None
+            ADV_FULL_ADS.inc()
+            message = Advertisement(
+                sender=self.address,
+                recipient=collector,
+                name=self._ad_name(job),
+                ad=ad,
+                lifetime=self.ad_lifetime,
+                sequence=self._sequence,
+                fingerprint=fp,
+            )
         # One blind extra copy, abandoned once the job stops being idle
         # (stale copies of older ads are dropped by the collector's
         # sequence check anyway).
@@ -344,11 +388,17 @@ class CustomerAgent:
             for collector in self._advertised_to.pop(
                 job.job_id, {self.collector_address}
             ):
+                # A withdrawn ad must never be refreshed back to life.
+                self._ad_cache.pop((job.job_id, collector), None)
                 self.net.send(
                     Withdrawal(
                         sender=self.address,
                         recipient=collector,
                         name=self._ad_name(job),
+                        # Every ad/refresh already in flight for this job
+                        # carries a smaller-or-equal sequence, so the
+                        # collector can drop reordered late copies.
+                        sequence=self._sequence,
                     )
                 )
 
@@ -379,8 +429,32 @@ class CustomerAgent:
             self._on_completed(message)
         elif isinstance(message, JobEvicted):
             self._on_evicted(message)
+        elif isinstance(message, ResendRequest):
+            self._on_resend_request(message)
         elif isinstance(message, LeaseAck):
             self._on_lease_ack(message)
+
+    def _on_resend_request(self, message: ResendRequest) -> None:
+        """A collector NACKed our Refresh (it crashed, expired the ad,
+        or saw another fingerprint): drop the cache for that collector
+        and, if the job is still in the hunt, re-advertise in full to
+        that collector immediately."""
+        prefix = f"job.{self.owner}."
+        if not message.name.startswith(prefix):
+            return
+        try:
+            job_id = int(message.name[len(prefix):])
+        except ValueError:
+            return
+        self._ad_cache.pop((job_id, message.sender), None)
+        job = self.jobs.get(job_id)
+        if (
+            job is None
+            or job.state is not JobState.IDLE
+            or job_id in self._pending_jobs
+        ):
+            return  # no longer advertising; let the stale ad stay dead
+        self._advertise_job(job, collector=message.sender)
 
     def _on_lease_ack(self, message: LeaseAck) -> None:
         active = self._active.get(message.match_id)

@@ -63,6 +63,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..classads import ClassAd
+from ..classads.fingerprint import fingerprint
 from ..classads.serialize import SerializationError, from_json_obj, to_json_obj
 from ..obs import metrics as _metrics
 from .match import (
@@ -293,15 +294,16 @@ class ScoringPool:
             self._procs.append(proc)
             self._conns.append(parent_conn)
         self.alive = True
-        #: Wire-format memo: id(ad) -> (ad, per-attr expression ids,
-        #: serialized object).  The strong ad reference pins the id so
-        #: it cannot be recycled; the expression-id tuple detects
-        #: rebinding, so an ad mutated in place re-serializes.
-        self._ser_memo: Dict[int, Tuple[ClassAd, Tuple[int, ...], dict]] = {}
+        #: Wire-format memo keyed by content fingerprint: equal-content
+        #: ads — the same object refreshed in place, or a re-advertised
+        #: replacement carrying identical attributes — share one
+        #: serialized object.  Mutation invalidates the ad's cached
+        #: fingerprint, so a changed ad can never hit a stale entry.
+        self._ser_memo: Dict[str, dict] = {}
         self._ser_memo_limit = 65536
-        #: Last uploaded chunk signature per worker (ids of the wire
-        #: objects), used to skip redundant uploads.
-        self._chunk_sigs: List[Optional[Tuple[int, ...]]] = [None] * workers
+        #: Last uploaded chunk signature per worker (content
+        #: fingerprints), used to skip redundant uploads.
+        self._chunk_sigs: List[Optional[Tuple[str, ...]]] = [None] * workers
         self._bounds: List[Tuple[int, int]] = []
         self._loaded_count = 0
         self.stage_seconds = {"serialize": 0.0, "ipc": 0.0, "score": 0.0, "merge": 0.0}
@@ -309,16 +311,12 @@ class ScoringPool:
     # -- wire format -------------------------------------------------------
 
     def _serialize(self, ad: ClassAd) -> dict:
-        key = id(ad)
-        entry = self._ser_memo.get(key)
-        if entry is not None:
-            holder, expr_ids, obj = entry
-            if holder is ad and expr_ids == tuple(map(id, ad._fields.values())):
-                return obj
-        if len(self._ser_memo) >= self._ser_memo_limit:
-            self._ser_memo.clear()
-        obj = to_json_obj(ad)
-        self._ser_memo[key] = (ad, tuple(map(id, ad._fields.values())), obj)
+        key = fingerprint(ad)
+        obj = self._ser_memo.get(key)
+        if obj is None:
+            if len(self._ser_memo) >= self._ser_memo_limit:
+                self._ser_memo.clear()
+            obj = self._ser_memo[key] = to_json_obj(ad)
         return obj
 
     # -- worker protocol ---------------------------------------------------
@@ -345,20 +343,21 @@ class ScoringPool:
     def load_providers(self, providers: Sequence[ClassAd]) -> None:
         """Ship the cycle's provider list, chunked, to the workers.
 
-        Chunks whose wire objects are unchanged since the last upload
-        (same ads, same expressions) are skipped entirely.
+        Chunks whose content fingerprints are unchanged since the last
+        upload are skipped entirely — object replacement by an equal ad
+        no longer defeats the skip.
         """
         started = time.perf_counter()
         self._bounds = _chunk_bounds(len(providers), self.workers)
         self._loaded_count = len(providers)
         payloads: List[Optional[List[dict]]] = []
         for worker, (lo, hi) in enumerate(self._bounds):
-            objs = [self._serialize(ad) for ad in providers[lo:hi]]
-            sig = tuple(map(id, objs))
+            chunk = providers[lo:hi]
+            sig = tuple(fingerprint(ad) for ad in chunk)
             if sig == self._chunk_sigs[worker]:
-                payloads.append(None)  # unchanged — skip the upload
+                payloads.append(None)  # unchanged content — skip the upload
             else:
-                payloads.append(objs)
+                payloads.append([self._serialize(ad) for ad in chunk])
                 self._chunk_sigs[worker] = sig
         self.stage_seconds["serialize"] += time.perf_counter() - started
         started = time.perf_counter()

@@ -19,10 +19,16 @@ and :mod:`repro.protocols.tickets` the authorization-ticket machinery.
 from .advertising import (
     DEFAULT_AD_LIFETIME,
     DEFAULT_ADVERTISING_INTERVAL,
+    VOLATILE_JOB_ATTRS,
+    VOLATILE_MACHINE_ATTRS,
     AdStore,
     StoredAd,
     ValidationResult,
+    refresh_enabled,
+    set_refresh,
+    stable_equal,
     validate_ad,
+    volatile_values,
 )
 from .claiming import ClaimDecision, ClaimVerdict, respond_to_claim, verify_claim
 from .messages import (
@@ -32,7 +38,9 @@ from .messages import (
     EvictionNotice,
     MatchNotification,
     Message,
+    Refresh,
     ReleaseNotice,
+    ResendRequest,
     Withdrawal,
     next_message_id,
     reset_message_ids,
@@ -69,10 +77,14 @@ __all__ = [
     "EvictionNotice",
     "MatchNotification",
     "Message",
+    "Refresh",
     "ReleaseNotice",
+    "ResendRequest",
     "StoredAd",
     "Ticket",
     "TicketAuthority",
+    "VOLATILE_JOB_ATTRS",
+    "VOLATILE_MACHINE_ATTRS",
     "ValidationResult",
     "Withdrawal",
     "build_notifications",
@@ -80,9 +92,13 @@ __all__ = [
     "embed_ticket",
     "make_session_key",
     "next_message_id",
+    "refresh_enabled",
     "reset_message_ids",
     "respond_to_claim",
+    "set_refresh",
+    "stable_equal",
     "ticket_from_ad",
     "validate_ad",
     "verify_claim",
+    "volatile_values",
 ]

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..classads import ClassAd
+from ..classads.fingerprint import ad_wire_size
 from ..obs.causal import TraceContext
 from .tickets import Ticket
 
@@ -56,6 +57,13 @@ class Message:
     recipient: str
     ctx: Optional[TraceContext] = field(default=None, kw_only=True)
 
+    def wire_size(self) -> int:
+        """Estimated bytes this message occupies on the wire (header +
+        addresses); subclasses add their payloads.  Feeds the network's
+        ``net.bytes_sent`` accounting — an estimate with stable shape,
+        not a byte-exact encoding."""
+        return 48 + len(self.sender) + len(self.recipient)
+
 
 @dataclass(frozen=True)
 class Advertisement(Message):
@@ -64,19 +72,87 @@ class Advertisement(Message):
     ``name`` is the advertising key (re-advertisement under the same name
     refreshes the stored ad); ``lifetime`` is how long the matchmaker
     should retain the ad without refresh (soft state).
+
+    ``fingerprint`` is the sender's content hash over the ad's stable
+    (non-volatile) attributes — see :mod:`repro.classads.fingerprint`
+    and :class:`Refresh`.  ``None`` when the refresh fast path is off.
     """
 
     name: str
     ad: ClassAd
     lifetime: float
     sequence: int = field(default_factory=next_message_id)
+    fingerprint: Optional[str] = None
+
+    def wire_size(self) -> int:
+        size = super().wire_size() + len(self.name) + 24 + ad_wire_size(self.ad)
+        if self.fingerprint is not None:
+            size += len(self.fingerprint)
+        return size
+
+
+@dataclass(frozen=True)
+class Refresh(Message):
+    """A compact re-advertisement of an *unchanged* ad (the fast path).
+
+    In steady state the soft-state protocol's dominant traffic is
+    re-advertisements of ads that have not changed; a Refresh carries
+    only the advertising key, the sender's sequence number, the content
+    fingerprint of the stable attributes, and the current values of the
+    declared-volatile attributes (clock-derived fields like
+    ``KeyboardIdle`` that change every period by construction).  A
+    collector holding an ad under ``name`` whose stored fingerprint
+    matches renews the lease and applies the volatile values in place —
+    producing exactly the stored state a full advertisement would have —
+    and answers anything else with a :class:`ResendRequest`.
+    """
+
+    name: str
+    fingerprint: str
+    lifetime: float
+    sequence: int
+    #: ``(attribute name, scalar value)`` pairs, in ad insertion order.
+    volatile: Tuple[Tuple[str, object], ...] = ()
+
+    def wire_size(self) -> int:
+        return (
+            super().wire_size()
+            + len(self.name)
+            + len(self.fingerprint)
+            + 24
+            + sum(len(name) + 12 for name, _ in self.volatile)
+        )
+
+
+@dataclass(frozen=True)
+class ResendRequest(Message):
+    """The collector's NACK to a :class:`Refresh` it cannot honour
+    (unknown name, expired ad, or fingerprint mismatch): one round trip
+    restores full state — the explicit resync handshake that preserves
+    crash-recovery-by-doing-nothing (experiment E1) under the fast
+    path."""
+
+    name: str
+
+    def wire_size(self) -> int:
+        return super().wire_size() + len(self.name)
 
 
 @dataclass(frozen=True)
 class Withdrawal(Message):
-    """Graceful removal of an advertisement (e.g. agent shutting down)."""
+    """Graceful removal of an advertisement (e.g. agent shutting down).
+
+    ``sequence`` is the sender's advertising sequence counter *at
+    withdrawal time*: every Advertisement/Refresh already in flight
+    carries a smaller-or-equal number, so the collector can tombstone
+    the name and drop late-arriving copies instead of resurrecting a
+    withdrawn ad (or NACKing a stale refresh of one)."""
 
     name: str
+    sequence: Optional[int] = None
+
+    def wire_size(self) -> int:
+        return super().wire_size() + len(self.name) + 8
 
 
 @dataclass(frozen=True)
@@ -96,6 +172,17 @@ class MatchNotification(Message):
     session_key: Optional[bytes] = None
     match_id: int = field(default_factory=next_message_id)
 
+    def wire_size(self) -> int:
+        return (
+            super().wire_size()
+            + len(self.peer_address)
+            + ad_wire_size(self.peer_ad)
+            + ad_wire_size(self.my_ad)
+            + (64 if self.ticket is not None else 0)
+            + (len(self.session_key) if self.session_key is not None else 0)
+            + 8
+        )
+
 
 @dataclass(frozen=True)
 class ClaimRequest(Message):
@@ -109,6 +196,14 @@ class ClaimRequest(Message):
     ticket: Optional[Ticket]
     match_id: int
     challenge_response: Optional[str] = None
+
+    def wire_size(self) -> int:
+        return (
+            super().wire_size()
+            + ad_wire_size(self.customer_ad)
+            + (64 if self.ticket is not None else 0)
+            + 8
+        )
 
 
 @dataclass(frozen=True)

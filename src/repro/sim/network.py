@@ -37,6 +37,9 @@ _NET_DUPLICATED = _metrics.counter(
 _NET_DROPPED_PARTITION = _metrics.counter(
     "net.dropped_partition", "messages dropped by chaos partition windows"
 )
+_NET_BYTES_SENT = _metrics.gauge(
+    "net.bytes_sent", "cumulative estimated bytes handed to the network"
+)
 
 
 @dataclass
@@ -50,6 +53,9 @@ class NetworkStats:
     dropped_down: int = 0
     dropped_partition: int = 0
     duplicated: int = 0
+    #: Estimated wire bytes of every accepted send (see
+    #: ``Message.wire_size``); tracked only while metrics are enabled.
+    bytes_sent: int = 0
 
 
 class Network:
@@ -128,6 +134,11 @@ class Network:
             if ctx is not None and hasattr(message, "ctx"):
                 object.__setattr__(message, "ctx", ctx)
         self.stats.sent += 1
+        if _metrics.enabled:
+            sizer = getattr(message, "wire_size", None)
+            if sizer is not None:
+                self.stats.bytes_sent += sizer()
+                _NET_BYTES_SENT.set(self.stats.bytes_sent)
         if self.loss and self.rng.bernoulli(self.loss):
             self.stats.dropped_loss += 1
             return

@@ -1,0 +1,173 @@
+"""Property-based tests for the content fingerprint (PR 8).
+
+The refresh fast path is only sound if the fingerprint is
+
+* *stable*: structurally equal ads (order/case of top-level names aside)
+  fingerprint identically, and a serialize round-trip preserves it;
+* *sensitive*: any in-place mutation — rebind, add, delete — changes it;
+* *volatile-aware*: excluded attributes contribute presence but not
+  value, so a volatile-value change keeps the fingerprint while a
+  volatile attribute appearing or vanishing changes it;
+* mirrored exactly by :func:`payload_equal`, the sender-side change
+  detector.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classads import (
+    ClassAd,
+    Literal,
+    ad_wire_size,
+    dumps,
+    fingerprint,
+    loads,
+    payload_equal,
+)
+from repro.classads.lexer import KEYWORDS
+
+_RESERVED = KEYWORDS | {"self", "other", "my", "target"}
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,11}", fullmatch=True).filter(
+    lambda s: s.lower() not in _RESERVED
+)
+
+scalars = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False),
+    st.text(alphabet=string.ascii_letters + string.digits + " _-./", max_size=16),
+    st.booleans(),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(identifiers, children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+ads = st.dictionaries(identifiers, values, min_size=1, max_size=8).map(ClassAd)
+
+
+def _case_flip(name: str) -> str:
+    return name.swapcase()
+
+
+class TestStability:
+    @given(ads)
+    @settings(max_examples=150, deadline=None)
+    def test_equal_structure_equal_fingerprint(self, ad):
+        """Rebuilding the same content — reversed insertion order,
+        case-flipped spellings — fingerprints identically."""
+        rebuilt = ClassAd([(_case_flip(k), v) for k, v in reversed(ad.items())])
+        assert fingerprint(rebuilt) == fingerprint(ad)
+
+    @given(ads)
+    @settings(max_examples=150, deadline=None)
+    def test_serialize_round_trip_preserves_fingerprint(self, ad):
+        assert fingerprint(loads(dumps(ad))) == fingerprint(ad)
+
+    @given(ads)
+    @settings(max_examples=100, deadline=None)
+    def test_copy_preserves_fingerprint_and_size(self, ad):
+        dup = ad.copy()
+        assert fingerprint(dup) == fingerprint(ad)
+        assert ad_wire_size(dup) == ad_wire_size(ad)
+
+    def test_literal_types_count(self):
+        """Finer than ``==``: 3 and 3.0 serialize differently, so they
+        must fingerprint differently (the safe direction)."""
+        assert fingerprint(ClassAd({"X": 3})) != fingerprint(ClassAd({"X": 3.0}))
+        assert not payload_equal(Literal(3), Literal(3.0))
+
+
+class TestSensitivity:
+    @given(ads, scalars)
+    @settings(max_examples=150, deadline=None)
+    def test_rebinding_an_attribute_changes_it(self, ad, value):
+        name = ad.keys()[0]
+        before = fingerprint(ad)
+        old = ad[name]
+        ad[name] = value
+        if payload_equal(old, ad[name]):
+            assert fingerprint(ad) == before
+        else:
+            assert fingerprint(ad) != before
+
+    @given(ads)
+    @settings(max_examples=100, deadline=None)
+    def test_adding_and_deleting_changes_it(self, ad):
+        before = fingerprint(ad)
+        ad["ZZZ_NewAttr"] = 1
+        added = fingerprint(ad)
+        assert added != before
+        del ad["ZZZ_NewAttr"]
+        assert fingerprint(ad) == before
+
+    @given(ads)
+    @settings(max_examples=100, deadline=None)
+    def test_payload_equal_mirrors_fingerprint(self, ad):
+        dup = loads(dumps(ad))
+        for name, expr in ad.items():
+            assert payload_equal(expr, dup[name])
+
+
+class TestVolatileExclusion:
+    EXCLUDE = frozenset({"loadavg"})
+
+    def test_excluded_value_changes_keep_fingerprint(self):
+        a = ClassAd({"Type": "Machine", "LoadAvg": 0.05, "Memory": 64})
+        b = ClassAd({"Type": "Machine", "LoadAvg": 1.25, "Memory": 64})
+        assert fingerprint(a, exclude=self.EXCLUDE) == fingerprint(
+            b, exclude=self.EXCLUDE
+        )
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_excluded_presence_still_counts(self):
+        with_attr = ClassAd({"Type": "Machine", "LoadAvg": 0.05})
+        without = ClassAd({"Type": "Machine"})
+        assert fingerprint(with_attr, exclude=self.EXCLUDE) != fingerprint(
+            without, exclude=self.EXCLUDE
+        )
+
+    def test_exclusion_is_case_insensitive(self):
+        a = ClassAd({"Type": "Machine", "LOADAVG": 0.05})
+        b = ClassAd({"Type": "Machine", "LOADAVG": 9.99})
+        assert fingerprint(a, exclude=self.EXCLUDE) == fingerprint(
+            b, exclude=self.EXCLUDE
+        )
+
+    def test_stable_change_still_detected_under_exclusion(self):
+        a = ClassAd({"Type": "Machine", "LoadAvg": 0.05, "Memory": 64})
+        b = ClassAd({"Type": "Machine", "LoadAvg": 0.05, "Memory": 128})
+        assert fingerprint(a, exclude=self.EXCLUDE) != fingerprint(
+            b, exclude=self.EXCLUDE
+        )
+
+
+class TestCacheInvalidation:
+    def test_mutation_invalidates_cached_fingerprint(self):
+        ad = ClassAd({"A": 1, "B": 2})
+        first = fingerprint(ad)
+        assert fingerprint(ad) == first  # cached path
+        ad["A"] = 5
+        assert fingerprint(ad) != first
+
+    def test_wire_size_tracks_mutation(self):
+        ad = ClassAd({"A": 1})
+        small = ad_wire_size(ad)
+        ad["B"] = "a much longer string payload"
+        assert ad_wire_size(ad) > small
+
+    def test_expression_attributes_compare_by_unparse(self):
+        a = ClassAd.parse('[ Constraint = other.Memory >= 32 ]')
+        b = ClassAd.parse('[ Constraint = other.Memory >= 32 ]')
+        c = ClassAd.parse('[ Constraint = other.Memory >= 64 ]')
+        assert payload_equal(a["Constraint"], b["Constraint"])
+        assert not payload_equal(a["Constraint"], c["Constraint"])
+        assert fingerprint(a) == fingerprint(b) != fingerprint(c)

@@ -11,6 +11,8 @@ ops = st.lists(
     st.one_of(
         st.tuples(st.just("insert"), names, st.floats(min_value=0, max_value=100),
                   st.floats(min_value=1, max_value=50), st.integers(min_value=0, max_value=20)),
+        st.tuples(st.just("touch"), names, st.floats(min_value=0, max_value=100),
+                  st.floats(min_value=1, max_value=50), st.integers(min_value=0, max_value=20)),
         st.tuples(st.just("remove"), names),
         st.tuples(st.just("expire"), st.floats(min_value=0, max_value=200)),
     ),
@@ -33,6 +35,18 @@ def replay(operations):
             should_accept = old is None or seq >= old[1]
             assert accepted == should_accept
             if should_accept:
+                model[name] = (now + lifetime, seq)
+        elif op[0] == "touch":
+            _, name, dt, lifetime, seq = op
+            now += dt
+            renewed = store.touch(name, now=now, lifetime=lifetime, sequence=seq)
+            old = model.get(name)
+            if old is None:
+                assert renewed is None
+            elif seq < old[1]:
+                assert renewed is False
+            else:
+                assert renewed is True
                 model[name] = (now + lifetime, seq)
         elif op[0] == "remove":
             _, name = op
@@ -72,3 +86,24 @@ class TestAdStoreModel:
             ad = store.get(name)
             assert ad is not None
             assert ad.evaluate("Name") == name
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_expiry_heap_stays_bounded(self, operations):
+        """The lazily-invalidated heap may hold stale entries, but the
+        compaction guard keeps it within a constant factor of the store."""
+        store, model, now = replay(operations)
+        assert len(store._expiry_heap) <= 4 * len(store._store) + 64
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_touch_renews_in_place(self, operations):
+        """A touch never replaces the stored ad object."""
+        store, model, now = replay(operations)
+        for name in model:
+            before = store.get(name)
+            assert store.touch(name, now=now, lifetime=10.0,
+                               sequence=model[name][1] + 1) is True
+            assert store.get(name) is before
+            rec = store.record(name)
+            assert rec.expires_at == now + 10.0
