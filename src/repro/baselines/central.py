@@ -74,14 +74,13 @@ class CentralAllocator:
     def submit(self, job: Job, at: Optional[float] = None) -> None:
         if at is not None:
             self._pending_submissions += 1
-
-            def arrive():
-                self._pending_submissions -= 1
-                self._enqueue(job)
-
-            self.sim.schedule_at(at, arrive)
+            self.sim.schedule_at(at, self._arrive, job)
         else:
             self._enqueue(job)
+
+    def _arrive(self, job: Job) -> None:
+        self._pending_submissions -= 1
+        self._enqueue(job)
 
     def _enqueue(self, job: Job) -> None:
         job.submit_time = self.sim.now

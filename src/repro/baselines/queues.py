@@ -92,14 +92,14 @@ class QueueBasedScheduler:
             raise UnknownQueueError(queue_name)
         if at is not None:
             self._pending_submissions += 1
-
-            def arrive():
-                self._pending_submissions -= 1
-                self._enqueue(job, self.queues[queue_name])
-
-            self.sim.schedule_at(at, arrive)
+            self.sim.schedule_at(at, self._arrive, (job, queue_name))
         else:
             self._enqueue(job, self.queues[queue_name])
+
+    def _arrive(self, submission) -> None:
+        job, queue_name = submission
+        self._pending_submissions -= 1
+        self._enqueue(job, self.queues[queue_name])
 
     def _enqueue(self, job: Job, queue: JobQueue) -> None:
         job.submit_time = self.sim.now

@@ -502,17 +502,20 @@ class MachineAgent:
             self._pending_notices.pop(notice.match_id, None)
 
     def _schedule_notice_retry(self, match_id: int, retries_left: int) -> None:
-        def retry():
-            notice = self._pending_notices.get(match_id)
-            if notice is None:
-                return  # acked
-            if retries_left <= 0 or not retries_enabled():
-                self._pending_notices.pop(match_id, None)
-                return  # peer presumed dead; leases cover the rest
-            self.net.send(notice)
-            self._schedule_notice_retry(match_id, retries_left - 1)
+        self.sim.schedule(
+            self.notice_retry_interval, self._notice_retry, (match_id, retries_left)
+        )
 
-        self.sim.schedule(self.notice_retry_interval, retry)
+    def _notice_retry(self, state) -> None:
+        match_id, retries_left = state
+        notice = self._pending_notices.get(match_id)
+        if notice is None:
+            return  # acked
+        if retries_left <= 0 or not retries_enabled():
+            self._pending_notices.pop(match_id, None)
+            return  # peer presumed dead; leases cover the rest
+        self.net.send(notice)
+        self._schedule_notice_retry(match_id, retries_left - 1)
 
     def _claim_key(self, request: ClaimRequest):
         job_id = request.customer_ad.evaluate("JobId")
@@ -656,30 +659,30 @@ class MachineAgent:
         """Fire exactly when the lease would lapse; each renewal pushes
         ``lease_expires`` forward, so the reaper just re-arms itself
         until the deadline is real (Condor's ALIVE protocol, with a
-        reaper instead of the old half-lease poll)."""
-
-        def reap():
-            if self.claim is not claim:
-                return  # claim already ended
-            if self.sim.now >= claim.lease_expires:
-                self.evictions_lease += 1
-                _RA_LEASES_EXPIRED.inc()
-                if _events.enabled:
-                    _events.emit(
-                        "claim.lease.expired",
-                        t=self.sim.now,
-                        machine=self.spec.name,
-                        match=claim.match_id,
-                        job=claim.job_id,
-                    )
-                self._evict("claim-lease-expired")
-                if not self.owner_active:
-                    self._set_state(MachineState.UNCLAIMED)
-            else:
-                self._arm_lease_reaper(claim)
-
+        reaper instead of the old half-lease poll).  The claim itself
+        rides the kernel's argument slot — no closure per re-arm."""
         delay = max(claim.lease_expires - self.sim.now, 0.0)
-        self.sim.schedule(delay + 1e-9, reap)
+        self.sim.schedule(delay + 1e-9, self._lease_reap, claim)
+
+    def _lease_reap(self, claim: _Claim) -> None:
+        if self.claim is not claim:
+            return  # claim already ended
+        if self.sim.now >= claim.lease_expires:
+            self.evictions_lease += 1
+            _RA_LEASES_EXPIRED.inc()
+            if _events.enabled:
+                _events.emit(
+                    "claim.lease.expired",
+                    t=self.sim.now,
+                    machine=self.spec.name,
+                    match=claim.match_id,
+                    job=claim.job_id,
+                )
+            self._evict("claim-lease-expired")
+            if not self.owner_active:
+                self._set_state(MachineState.UNCLAIMED)
+        else:
+            self._arm_lease_reaper(claim)
 
     def _work_done(self, claim: _Claim) -> float:
         """Reference CPU-seconds executed so far under *claim*."""

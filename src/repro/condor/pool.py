@@ -200,12 +200,12 @@ class CondorPool:
             schedd.submit(job)
         else:
             self._pending_submissions += 1
+            self.sim.schedule_at(at, self._arrive, (schedd, job))
 
-            def arrive():
-                self._pending_submissions -= 1
-                schedd.submit(job)
-
-            self.sim.schedule_at(at, arrive)
+    def _arrive(self, submission) -> None:
+        schedd, job = submission
+        self._pending_submissions -= 1
+        schedd.submit(job)
 
     def submit_all(self, jobs: Sequence[Job], arrival_times: Optional[Sequence[float]] = None) -> None:
         if arrival_times is None:
@@ -258,17 +258,16 @@ class CondorPool:
         re-registration — the agents' periodic advertisements rebuild the
         rest without any recovery protocol (the E1 claim).
         """
+        self.sim.schedule_at(at, self._cm_crash)
+        self.sim.schedule_at(at + duration, self._cm_recover)
 
-        def crash():
-            self.collector.crash()
-            self.negotiator.crash()
+    def _cm_crash(self) -> None:
+        self.collector.crash()
+        self.negotiator.crash()
 
-        def recover():
-            self.collector.recover()
-            self.negotiator.recover()
-
-        self.sim.schedule_at(at, crash)
-        self.sim.schedule_at(at + duration, recover)
+    def _cm_recover(self) -> None:
+        self.collector.recover()
+        self.negotiator.recover()
 
     def crash_schedd(self, owner: str, at: float, duration: Optional[float] = None) -> None:
         """Crash *owner*'s customer agent at *at*; revive after *duration*
@@ -276,15 +275,9 @@ class CondorPool:
         running its jobs reclaim themselves when the claim lease lapses.
         """
         schedd = self.schedd_for(owner)
-
-        def crash():
-            self.net.set_down(schedd.address)
-
-        self.sim.schedule_at(at, crash)
+        self.sim.schedule_at(at, self.net.set_down, schedd.address)
         if duration is not None:
-            self.sim.schedule_at(
-                at + duration, lambda: self.net.set_down(schedd.address, down=False)
-            )
+            self.sim.schedule_at(at + duration, self.net.revive, schedd.address)
 
     # -- reporting ----------------------------------------------------------
 

@@ -512,7 +512,7 @@ class CustomerAgent:
             match_id=notification.match_id,
         )
         timeout = self.sim.schedule(
-            self.claim_timeout, lambda: self._claim_timed_out(notification.match_id)
+            self.claim_timeout, self._claim_timed_out, notification.match_id
         )
         self._pending[notification.match_id] = _PendingClaim(
             job=job,

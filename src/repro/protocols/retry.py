@@ -114,19 +114,25 @@ class Retransmitter:
         self.net.send(message)
         pol = policy if policy is not None else self.policy
         if retries_enabled() and pol.max_tries > 0:
-            self._arm(message, stop_when, pol, attempt=0)
+            self._arm((message, stop_when, pol, 0))
 
-    def _arm(self, message, stop_when, pol: BackoffPolicy, attempt: int) -> None:
-        def fire():
-            if not retries_enabled():
-                return
-            if stop_when is not None and stop_when():
-                return
-            _RETRIES_SENT.inc(kind=self.kind)
-            self.net.send(message)
-            if attempt + 1 >= pol.max_tries:
-                _RETRIES_EXHAUSTED.inc(kind=self.kind)
-                return
-            self._arm(message, stop_when, pol, attempt + 1)
+    # The retransmit state rides the kernel's argument slot as one
+    # (message, stop_when, policy, attempt) tuple — no closure per
+    # copy/attempt (bench_engine.py's anatomy check asserts this).
 
-        self.sim.schedule(pol.delay(attempt, self.rng), fire)
+    def _arm(self, state) -> None:
+        pol = state[2]
+        self.sim.schedule(pol.delay(state[3], self.rng), self._fire, state)
+
+    def _fire(self, state) -> None:
+        message, stop_when, pol, attempt = state
+        if not retries_enabled():
+            return
+        if stop_when is not None and stop_when():
+            return
+        _RETRIES_SENT.inc(kind=self.kind)
+        self.net.send(message)
+        if attempt + 1 >= pol.max_tries:
+            _RETRIES_EXHAUSTED.inc(kind=self.kind)
+            return
+        self._arm((message, stop_when, pol, attempt + 1))

@@ -37,7 +37,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, replace
 from fnmatch import fnmatchcase
-from typing import Callable, Dict, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import event_log as _events
 from .rng import RngStream
@@ -123,6 +124,14 @@ class ChaosPlan:
 CrashHooks = Dict[str, Tuple[Callable[[], None], Callable[[], None]]]
 
 
+def _emit_partition_open(w: PartitionWindow) -> None:
+    _events.emit("net.partition", action="open", src=w.src, dst=w.dst, until=w.end)
+
+
+def _emit_partition_close(w: PartitionWindow) -> None:
+    _events.emit("net.partition", action="close", src=w.src, dst=w.dst)
+
+
 class ChaosController:
     """Applies a :class:`ChaosPlan` to one simulator + network."""
 
@@ -161,56 +170,50 @@ class ChaosController:
 
     def arm(self, sim, net, crash_hooks: Optional[CrashHooks] = None) -> None:
         """Install the plan: network consults, partition edge events,
-        and the crash/restart schedule."""
+        and the crash/restart schedule.
+
+        Everything scheduled here uses the kernel's argument-passing
+        API (``schedule_at(t, fn, arg)``) — no per-window closures, so
+        the event-queue anatomy check in ``bench_engine.py`` can assert
+        a closure-free queue even with a chaos plan armed.
+        """
         net.install_chaos(self)
         for w in self.plan.partitions:
-            sim.schedule_at(
-                w.start,
-                lambda w=w: _events.emit(
-                    "net.partition", action="open", src=w.src, dst=w.dst, until=w.end
-                ),
-            )
-            sim.schedule_at(
-                w.end,
-                lambda w=w: _events.emit(
-                    "net.partition", action="close", src=w.src, dst=w.dst
-                ),
-            )
+            sim.schedule_at(w.start, _emit_partition_open, w)
+            sim.schedule_at(w.end, _emit_partition_close, w)
         hooks = crash_hooks or {}
         for c in self.plan.crashes:
-            crash, restart = self._resolve(c.target, net, hooks)
-            sim.schedule_at(c.at, crash)
+            crash_fns, restart_fns = self._resolve(c.target, net, hooks)
+            sim.schedule_at(c.at, self._fire_crash, (c.target, crash_fns))
             if c.duration is not None:
-                sim.schedule_at(c.at + c.duration, restart)
+                sim.schedule_at(
+                    c.at + c.duration, self._fire_restart, (c.target, restart_fns)
+                )
 
-    def _resolve(self, target: str, net, hooks: CrashHooks):
+    def _fire_crash(self, action) -> None:
+        target, fns = action
+        _events.emit("chaos.crash", target=target)
+        for fn in fns:
+            fn()
+
+    def _fire_restart(self, action) -> None:
+        target, fns = action
+        _events.emit("chaos.restart", target=target)
+        for fn in fns:
+            fn()
+
+    def _resolve(
+        self, target: str, net, hooks: CrashHooks
+    ) -> Tuple[List[Callable[[], None]], List[Callable[[], None]]]:
+        """The (crash, restart) callable lists for *target*: matching
+        crash hooks, or — when no hook knows the target — downing it as
+        a plain network address."""
         matched = [
             hooks[key] for key in sorted(hooks) if key == target or fnmatchcase(key, target)
         ]
         if matched:
-
-            def crash():
-                _events.emit("chaos.crash", target=target)
-                for fn, _ in matched:
-                    fn()
-
-            def restart():
-                _events.emit("chaos.restart", target=target)
-                for _, fn in matched:
-                    fn()
-
-            return crash, restart
-
-        # No hook knows the target: treat it as a plain network address.
-        def crash_addr():
-            _events.emit("chaos.crash", target=target)
-            net.set_down(target)
-
-        def restart_addr():
-            _events.emit("chaos.restart", target=target)
-            net.set_down(target, down=False)
-
-        return crash_addr, restart_addr
+            return [fn for fn, _ in matched], [fn for _, fn in matched]
+        return [partial(net.set_down, target)], [partial(net.set_down, target, False)]
 
 
 # ---------------------------------------------------------------------------
